@@ -1,0 +1,76 @@
+"""Fig. 10: channel-last data-address mapping.
+
+Activations map W -> H -> C (channel last) and weights S -> R -> K -> C so
+that an arbitrary (non-contiguous) channel order requested by the
+sparsity-aware address generator still fetches each channel as one contiguous
+burst, and sparse channels store only nonzero values plus a 1-bit indicator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.accelerator import (
+    ActivationMapping,
+    SparsityAwareAddressGenerator,
+    WeightMapping,
+    classify_channels,
+    compress_channel,
+    random_workload,
+)
+from repro.analysis.tables import format_table
+
+
+def test_fig10_channel_last_mapping(benchmark):
+    rng = np.random.default_rng(1)
+
+    def experiment():
+        workload = random_workload(in_channels=16, out_channels=8, spatial=8, mean_sparsity=0.7, seed=2)
+        act_map = ActivationMapping(16, 8, 8)
+        weight_map = WeightMapping(8, 16, 3, 3)
+        generator = SparsityAwareAddressGenerator(act_map, weight_map)
+        classification = classify_channels(workload.channel_sparsity, 0.3)
+        dense_plan = generator.dense_plan(classification)
+        sparse_plan = generator.sparse_plan(classification)
+
+        # Compressed storage for one sparse channel.
+        channel_data = rng.normal(size=(8, 8))
+        channel_data[np.abs(channel_data) < 0.8] = 0.0
+        record = compress_channel(channel_data, channel_index=3)
+        return act_map, weight_map, dense_plan, sparse_plan, record
+
+    act_map, weight_map, dense_plan, sparse_plan, record = run_once(benchmark, experiment)
+
+    dense_bits = act_map.height * act_map.width * 4
+    print()
+    print(
+        format_table(
+            ["Quantity", "Value"],
+            [
+                ["activation address of (c=2, y=1, x=3)", act_map.address(2, 1, 3)],
+                ["weight address of (k=1, c=2, r=0, s=1)", weight_map.address(1, 2, 0, 1)],
+                ["dense-group channels", dense_plan.num_channels],
+                ["sparse-group channels", sparse_plan.num_channels],
+                ["sparse channel storage (bits, UINT4 values + bitmap)", record.storage_bits(4)],
+                ["dense channel storage (bits, UINT4)", dense_bits],
+            ],
+            title="Fig. 10: channel-last address mapping and compressed sparse channels",
+        )
+    )
+
+    # Channel-last: each channel occupies one contiguous address range.
+    for channel in range(act_map.channels):
+        start, end = act_map.channel_slice(channel)
+        assert end - start == act_map.height * act_map.width
+    # Both fetch plans issue one contiguous burst per channel.
+    assert dense_plan.is_contiguous_per_channel()
+    assert sparse_plan.is_contiguous_per_channel()
+    # W is the fastest-varying address component, C the slowest.
+    assert act_map.address(0, 0, 1) - act_map.address(0, 0, 0) == 1
+    assert act_map.address(1, 0, 0) - act_map.address(0, 0, 0) == act_map.height * act_map.width
+    # All weights for one input channel are contiguous.
+    start, end = weight_map.channel_slice(2)
+    assert end - start == weight_map.out_channels * 9
+    # The compressed sparse channel is smaller than dense storage.
+    assert record.storage_bits(4) < dense_bits

@@ -1,0 +1,59 @@
+"""Fig. 12: system evaluation.
+
+Top: per-dataset speed-up and system energy saving of the heterogeneous
+DPE+SPE accelerator versus the dense two-DPE baseline (paper average: 1.83x
+speed-up, 51.5% energy saving).
+
+Bottom: total speed-up over an FP16 SiLU-based model on a dense accelerator —
+quantization contributes ~3.78x and temporal sparsity multiplies it to ~6.91x.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.speedup import summarize_hardware
+from repro.analysis.tables import format_percentage, format_speedup, format_table
+from repro.diffusion.datasets import DATASET_LABELS
+
+
+def test_fig12_system_evaluation(benchmark, ctx):
+    def experiment():
+        evaluations = [ctx.hardware(workload) for workload in ctx.workloads()]
+        return summarize_hardware(evaluations)
+
+    system = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["Workload", "Avg sparsity", "Sparsity speed-up", "Energy saving", "Quant speed-up", "Total speed-up"],
+            [
+                [DATASET_LABELS[row.workload], format_percentage(row.average_sparsity),
+                 format_speedup(row.sparsity_speedup), format_percentage(row.energy_saving),
+                 format_speedup(row.quantization_speedup), format_speedup(row.total_speedup)]
+                for row in system.per_workload
+            ],
+            title="Fig. 12 (top): speed-up and energy saving vs dense 2-DPE baseline",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["Configuration", "Speed-up vs FP16 dense"],
+            [[name, format_speedup(value)] for name, value in system.speedup_stack().items()],
+            title="Fig. 12 (bottom): total speed-up stack (paper: 3.78x quant, 6.91x total)",
+        )
+    )
+
+    # Temporal-sparsity speed-up and energy saving in the paper's regime.
+    assert 1.4 < system.average_sparsity_speedup < 2.6
+    assert 0.30 < system.average_energy_saving < 0.80
+    # Quantization alone gives close to the 4x precision ratio (paper: 3.78x).
+    assert 2.5 < system.average_quantization_speedup <= 4.0
+    # The combination compounds (paper: 6.91x).
+    assert system.average_total_speedup > system.average_quantization_speedup
+    assert 4.5 < system.average_total_speedup < 10.0
+    # Every workload individually beats the dense baseline.
+    assert all(row.sparsity_speedup > 1.0 for row in system.per_workload)
+    assert all(row.energy_saving > 0.0 for row in system.per_workload)

@@ -1,0 +1,47 @@
+"""Fig. 1: generation quality versus achieved speed-up for different formats.
+
+The paper's teaser figure shows FP16 (1.0x), INT4 and INT4-VSQ (quantization
+speed-up only, with broken image quality) and Ours (MP+ReLU, 6.91x total with
+near-baseline quality).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.speedup import figure1_summary
+from repro.analysis.tables import format_speedup, format_table
+
+
+def test_fig1_quality_vs_speedup(benchmark, ctx):
+    workload = "afhqv2"  # the paper's example images target AFHQv2 / FFHQ
+
+    def experiment():
+        pipeline = ctx.pipeline(workload)
+        fids = {
+            "FP16": ctx.format_evaluation(workload, "FP16").fid,
+            "INT4": ctx.format_evaluation(workload, "INT4").fid,
+            "INT4-VSQ": ctx.format_evaluation(workload, "INT4-VSQ").fid,
+            "Ours (MP+ReLU)": pipeline.evaluate_mixed_precision(relu=True).fid,
+        }
+        hardware = ctx.hardware(workload)
+        return figure1_summary(fids, hardware.quantization_speedup, hardware.total_speedup)
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["Format", "Proxy FID", "Speed-up vs FP16"],
+            [[r.format_name, r.fid, format_speedup(r.speedup_vs_fp16)] for r in rows],
+            title="Fig. 1: quality vs speed-up (AFHQv2 workload)",
+        )
+    )
+
+    by_name = {r.format_name: r for r in rows}
+    assert by_name["FP16"].speedup_vs_fp16 == 1.0
+    assert by_name["Ours (MP+ReLU)"].speedup_vs_fp16 > by_name["INT4-VSQ"].speedup_vs_fp16
+    # Ours keeps quality close to FP16 while INT4/INT4-VSQ break it.
+    assert by_name["Ours (MP+ReLU)"].fid < by_name["INT4-VSQ"].fid
+    assert by_name["Ours (MP+ReLU)"].fid < by_name["INT4"].fid
+    assert by_name["Ours (MP+ReLU)"].speedup_vs_fp16 > 4.0

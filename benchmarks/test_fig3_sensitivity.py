@@ -1,0 +1,36 @@
+"""Fig. 3: block-wise quantization sensitivity of the EDM model.
+
+One block at a time is dropped to 4-bit while the rest stay at MXINT8; the
+paper finds that only the first and last few blocks are materially sensitive.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.sensitivity import block_sensitivity_sweep
+from repro.analysis.tables import format_table
+
+
+def test_fig3_block_sensitivity(benchmark, ctx):
+    pipeline = ctx.pipeline("cifar10")
+
+    report = run_once(benchmark, lambda: block_sensitivity_sweep(pipeline))
+
+    print()
+    print(
+        format_table(
+            ["Block (execution order)", "Proxy FID", "Delta vs all-MXINT8"],
+            [[b.block_name, b.fid, b.fid_delta] for b in sorted(report.blocks, key=lambda b: b.order)],
+            title=f"Fig. 3: block-wise sensitivity (reference all-MXINT8 FID = {report.reference_fid:.2f})",
+        )
+    )
+
+    assert len(report.blocks) == len(pipeline.workload.unet.block_infos())
+    # The paper's conclusion: boundary blocks dominate the sensitivity ranking.
+    assert report.boundary_blocks_are_most_sensitive(top_k=3)
+    # Quantizing a middle block costs much less than the worst boundary block.
+    ordered = sorted(report.blocks, key=lambda b: b.order)
+    middle = ordered[len(ordered) // 2]
+    worst = max(report.blocks, key=lambda b: b.fid_delta)
+    assert middle.fid_delta <= worst.fid_delta

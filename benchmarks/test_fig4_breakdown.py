@@ -1,0 +1,43 @@
+"""Fig. 4: computation and memory cost breakdown by block type.
+
+The paper attributes >90% of compute and >85% of memory to the Conv+SiLU
+blocks; the scaled-down models reproduce the dominance of the Conv blocks
+(the exact shares shift because the models are much smaller).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.breakdown import cost_breakdown
+from repro.analysis.tables import format_percentage, format_table
+from repro.nn.unet import BLOCK_CONV
+
+
+def test_fig4_compute_memory_breakdown(benchmark, ctx):
+    def experiment():
+        return {
+            workload: cost_breakdown(ctx.pipeline(workload).workload.unet, workload)
+            for workload in ctx.workloads()
+        }
+
+    reports = run_once(benchmark, experiment)
+
+    headers = ["Workload"] + [f"{t} (comp)" for t in reports["cifar10"].compute_share] + [
+        f"{t} (mem)" for t in reports["cifar10"].memory_share
+    ]
+    rows = []
+    for workload, report in reports.items():
+        rows.append(
+            [workload]
+            + [format_percentage(v) for v in report.compute_share.values()]
+            + [format_percentage(v) for v in report.memory_share.values()]
+        )
+    print()
+    print(format_table(headers, rows, title="Fig. 4: compute / memory breakdown by block type"))
+
+    for report in reports.values():
+        assert report.dominant_type() == BLOCK_CONV
+        assert report.conv_compute_share() > 0.5
+        assert report.conv_memory_share() > 0.4
+        assert abs(sum(report.compute_share.values()) - 1.0) < 1e-9

@@ -1,0 +1,46 @@
+"""Fig. 5: activation data distribution at the output of Conv+SiLU vs Conv+ReLU.
+
+The SiLU output spans [-0.278, inf) (forcing signed formats); the ReLU output
+spans [0, inf) and contains a large spike of exact zeros (the sparsity SQ-DM
+exploits).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from conftest import run_once
+
+from repro.analysis.distributions import compare_activation_distributions, silu_minimum
+from repro.analysis.tables import format_table
+
+
+def test_fig5_activation_distributions(benchmark, ctx):
+    workload = ctx.pipeline("cifar10").workload
+
+    def experiment():
+        relu_model = copy.deepcopy(workload.unet)
+        relu_model.set_activation("relu")
+        return compare_activation_distributions(workload.unet, relu_model)
+
+    silu_summary, relu_summary = run_once(benchmark, experiment)
+
+    print()
+    print(
+        format_table(
+            ["Activation", "min", "max", "mean", "negative frac", "zero frac"],
+            [
+                [s.activation, s.minimum, s.maximum, s.mean, s.negative_fraction, s.zero_fraction]
+                for s in (silu_summary, relu_summary)
+            ],
+            title="Fig. 5: Conv+SiLU vs Conv+ReLU output distributions",
+        )
+    )
+    print(f"analytic SiLU minimum: {silu_minimum():.4f} (paper: -0.278)")
+
+    assert silu_summary.minimum < 0  # SiLU has a negative tail ...
+    assert silu_summary.minimum >= -0.279  # ... bounded by the SiLU minimum
+    assert relu_summary.minimum >= 0  # ReLU output is non-negative
+    assert relu_summary.negative_fraction == 0.0
+    assert relu_summary.zero_fraction > 0.2  # and substantially sparse
+    assert silu_summary.zero_fraction < 0.05

@@ -1,0 +1,33 @@
+"""Fig. 6: quantization level utilization of SiLU/INT4 versus ReLU/UINT4.
+
+For inputs in [-1, 1], SiLU's output occupies only ~10 of the 16 signed INT4
+levels, while ReLU's output uses all 16 UINT4 levels.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.distributions import silu_vs_relu_level_utilization
+from repro.analysis.tables import format_percentage, format_table
+
+
+def test_fig6_quantization_level_utilization(benchmark):
+    silu_util, relu_util = run_once(benchmark, silu_vs_relu_level_utilization)
+
+    print()
+    print(
+        format_table(
+            ["Activation", "Format", "Levels used", "Levels available", "Utilization"],
+            [
+                [u.activation, u.format_name, u.levels_used, u.levels_available, format_percentage(u.utilization)]
+                for u in (silu_util, relu_util)
+            ],
+            title="Fig. 6: SiLU(x)/INT4 vs ReLU(x)/UINT4 level utilization (x in [-1, 1])",
+        )
+    )
+
+    # Paper: 10 of 16 signed INT4 levels vs all 16 UINT4 levels.
+    assert relu_util.levels_used == relu_util.levels_available == 16
+    assert silu_util.levels_used <= 11
+    assert silu_util.utilization < relu_util.utilization

@@ -1,0 +1,40 @@
+"""Table I: FID of existing quantization formats across the four workloads.
+
+Paper rows: FP32, FP16, INT8, MXINT8, INT4, INT4-VSQ for EDM1/CIFAR-10,
+EDM1/AFHQv2, EDM1/FFHQ and EDM2/ImageNet.  Expected shape: FP32 ≈ FP16 ≈
+MXINT8 ≪ INT8 < INT4-VSQ ≪ INT4.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.diffusion.datasets import DATASET_LABELS
+
+FORMATS = ["FP32", "FP16", "INT8", "MXINT8", "INT4", "INT4-VSQ"]
+
+
+def test_table1_fid_by_format(benchmark, ctx):
+    def experiment():
+        results: dict[str, dict[str, float]] = {}
+        for workload in ctx.workloads():
+            for fmt in FORMATS:
+                results.setdefault(fmt, {})[workload] = ctx.format_evaluation(workload, fmt).fid
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    headers = ["Format"] + [DATASET_LABELS[w] for w in ctx.workloads()]
+    rows = [[fmt] + [results[fmt][w] for w in ctx.workloads()] for fmt in FORMATS]
+    print()
+    print(format_table(headers, rows, title="Table I: FID of existing formats (proxy FID, reduced scale)"))
+
+    for workload in ctx.workloads():
+        fp32 = results["FP32"][workload]
+        # FP16 and MXINT8 are quality-neutral, coarse INT8 degrades, 4-bit
+        # formats degrade severely with plain INT4 the worst.
+        assert abs(results["FP16"][workload] - fp32) / max(fp32, 1e-9) < 0.05
+        assert results["MXINT8"][workload] < results["INT8"][workload]
+        assert results["INT4-VSQ"][workload] < results["INT4"][workload]
+        assert results["INT4"][workload] > 3 * fp32

@@ -1,0 +1,67 @@
+"""Mixed-precision quantization study (Table I / Table II / Fig. 3 style).
+
+Explores the quantization design space on one workload:
+
+* uniform data formats (FP16, INT8, MXINT8, INT4, INT4-VSQ);
+* block-wise sensitivity (which blocks must stay at 8-bit);
+* the SQ-DM mixed-precision policies (MP-only and MP+ReLU).
+
+Usage::
+
+    python examples/mixed_precision_study.py [workload]
+
+where ``workload`` is one of cifar10, afhqv2, ffhq, imagenet (default cifar10).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.sensitivity import block_sensitivity_sweep
+from repro.analysis.tables import format_percentage, format_table
+from repro.core.costs import high_precision_cost_fraction
+from repro.core.pipeline import PipelineConfig, SQDMPipeline
+from repro.core.policy import mixed_precision_policy, sensitive_block_names
+
+
+def main(workload: str = "cifar10") -> None:
+    config = PipelineConfig(num_fid_samples=8, num_reference_samples=256, num_sampling_steps=5)
+    pipeline = SQDMPipeline(workload, config)
+
+    print(f"== Uniform formats on {pipeline.workload.label} ==")
+    rows = []
+    for fmt in ["FP32", "FP16", "INT8", "MXINT8", "INT4", "INT4-VSQ"]:
+        evaluation = pipeline.evaluate_format(fmt)
+        rows.append([fmt, evaluation.fid, format_percentage(evaluation.compute_saving)])
+    print(format_table(["Format", "Proxy FID", "Compute saving"], rows))
+
+    print("\n== Block-wise quantization sensitivity (Fig. 3) ==")
+    report = block_sensitivity_sweep(pipeline)
+    rows = [[b.block_name, b.fid_delta] for b in sorted(report.blocks, key=lambda b: b.order)]
+    print(format_table(["Block", "FID increase when 4-bit"], rows))
+    print(
+        "most sensitive blocks:",
+        ", ".join(b.block_name for b in report.most_sensitive(top_k=2)),
+    )
+
+    print("\n== SQ-DM mixed-precision policies (Table II) ==")
+    model = pipeline.workload.unet
+    policy = mixed_precision_policy(model, relu=True)
+    print("blocks kept at MXINT8:", sorted(sensitive_block_names(model)))
+    print(
+        "fraction of compute left above 4-bit:",
+        format_percentage(high_precision_cost_fraction(model, policy)),
+        "(paper: ~5% for the full-size EDM)",
+    )
+    rows = []
+    for relu in (False, True):
+        evaluation = pipeline.evaluate_mixed_precision(relu=relu)
+        rows.append(
+            [evaluation.scheme, evaluation.fid, format_percentage(evaluation.compute_saving),
+             format_percentage(evaluation.memory_saving)]
+        )
+    print(format_table(["Scheme", "Proxy FID", "Compute saving", "Memory saving"], rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "cifar10")

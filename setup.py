@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works on environments without the wheel package."""
+from setuptools import setup
+
+setup()

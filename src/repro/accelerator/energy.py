@@ -1,0 +1,117 @@
+"""28 nm energy model.
+
+Per-operation energy constants in picojoules, in line with published 28 nm
+figures (Horowitz ISSCC'14 scaling, MAGNet / Simba-style accelerator
+publications).  Absolute values are approximate; the paper's claims
+(51.5% system energy saving from temporal sparsity, Fig. 12) depend on the
+*ratios* between MAC energy at different precisions and between datapath and
+memory energy, which these constants preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-operation energies in picojoules at 28 nm, 1 V nominal."""
+
+    #: Multiply-accumulate energy per operation, keyed by operand bit width.
+    mac_pj: dict[int, float] = field(
+        default_factory=lambda: {4: 0.06, 8: 0.2, 16: 1.1, 32: 3.7}
+    )
+    #: Local PE buffer (register-file / small SRAM) access energy per byte.
+    local_buffer_pj_per_byte: float = 0.12
+    #: Global buffer (large SRAM) access energy per byte.
+    global_buffer_pj_per_byte: float = 1.2
+    #: Off-chip DRAM access energy per byte.
+    dram_pj_per_byte: float = 20.0
+    #: NoC router traversal energy per byte per hop.
+    noc_pj_per_byte_hop: float = 0.08
+    #: Energy of one sparsity-detector comparison (popcount + compare) per channel.
+    detector_pj_per_channel: float = 0.5
+    #: Static/leakage + control power expressed as pJ per cycle per PE.
+    idle_pj_per_cycle_per_pe: float = 2.0
+
+    def mac_energy(self, bits: int) -> float:
+        """MAC energy for the given operand width, interpolating if needed."""
+        if bits in self.mac_pj:
+            return self.mac_pj[bits]
+        known = sorted(self.mac_pj)
+        if bits <= known[0]:
+            return self.mac_pj[known[0]]
+        if bits >= known[-1]:
+            return self.mac_pj[known[-1]]
+        for low, high in zip(known, known[1:]):
+            if low < bits < high:
+                frac = (bits - low) / (high - low)
+                return self.mac_pj[low] * (1 - frac) + self.mac_pj[high] * frac
+        raise AssertionError("unreachable")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy totals (picojoules) by component, summable across layers/steps."""
+
+    mac_pj: float = 0.0
+    local_buffer_pj: float = 0.0
+    global_buffer_pj: float = 0.0
+    dram_pj: float = 0.0
+    noc_pj: float = 0.0
+    detector_pj: float = 0.0
+    idle_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.mac_pj
+            + self.local_buffer_pj
+            + self.global_buffer_pj
+            + self.dram_pj
+            + self.noc_pj
+            + self.detector_pj
+            + self.idle_pj
+        )
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac_pj=self.mac_pj + other.mac_pj,
+            local_buffer_pj=self.local_buffer_pj + other.local_buffer_pj,
+            global_buffer_pj=self.global_buffer_pj + other.global_buffer_pj,
+            dram_pj=self.dram_pj + other.dram_pj,
+            noc_pj=self.noc_pj + other.noc_pj,
+            detector_pj=self.detector_pj + other.detector_pj,
+            idle_pj=self.idle_pj + other.idle_pj,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Breakdown with every component multiplied by ``factor``."""
+        return EnergyBreakdown(
+            mac_pj=self.mac_pj * factor,
+            local_buffer_pj=self.local_buffer_pj * factor,
+            global_buffer_pj=self.global_buffer_pj * factor,
+            dram_pj=self.dram_pj * factor,
+            noc_pj=self.noc_pj * factor,
+            detector_pj=self.detector_pj * factor,
+            idle_pj=self.idle_pj * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mac_pj": self.mac_pj,
+            "local_buffer_pj": self.local_buffer_pj,
+            "global_buffer_pj": self.global_buffer_pj,
+            "dram_pj": self.dram_pj,
+            "noc_pj": self.noc_pj,
+            "detector_pj": self.detector_pj,
+            "idle_pj": self.idle_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+DEFAULT_ENERGY_TABLE = EnergyTable()

@@ -1,0 +1,190 @@
+"""End-to-end accelerator simulation over layers, time steps and full sampling runs.
+
+The simulator consumes *workload traces*: for every diffusion time step, the
+list of convolution-layer workloads (geometry, precision, per-channel input
+sparsity) the accelerator must execute.  It reports latency (cycles and
+milliseconds), energy breakdowns and MAC-skipping statistics, and provides
+the comparisons the paper's Fig. 12 reports:
+
+* heterogeneous DPE+SPE vs the dense two-DPE baseline (speed-up and energy
+  saving from temporal sparsity), and
+* quantized vs FP16 execution (speed-up from 4-bit quantization), which
+  compound into the headline 6.91x total speed-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import AcceleratorConfig, dense_baseline_config, sqdm_config
+from .controller import AcceleratorController, LayerExecutionResult
+from .energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
+from .workload import ConvLayerWorkload
+
+#: A workload trace: one list of layer workloads per diffusion time step.
+WorkloadTrace = list[list[ConvLayerWorkload]]
+
+
+@dataclass
+class StepResult:
+    """Aggregate execution result of one diffusion time step."""
+
+    time_step: int
+    cycles: float
+    energy: EnergyBreakdown
+    layer_results: list[LayerExecutionResult] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> float:
+        return sum(r.total_macs for r in self.layer_results)
+
+    @property
+    def executed_macs(self) -> float:
+        return sum(r.executed_macs for r in self.layer_results)
+
+
+@dataclass
+class SimulationReport:
+    """Full simulation result across all time steps."""
+
+    config_name: str
+    total_cycles: float
+    total_energy: EnergyBreakdown
+    step_results: list[StepResult] = field(default_factory=list)
+    clock_ghz: float = 1.0
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.total_cycles / (self.clock_ghz * 1e9) * 1e3
+
+    @property
+    def total_macs(self) -> float:
+        return sum(s.total_macs for s in self.step_results)
+
+    @property
+    def executed_macs(self) -> float:
+        return sum(s.executed_macs for s in self.step_results)
+
+    @property
+    def mac_skip_fraction(self) -> float:
+        total = self.total_macs
+        if total == 0:
+            return 0.0
+        return 1.0 - self.executed_macs / total
+
+    def average_load_imbalance(self) -> float:
+        imbalances = [
+            layer.load_imbalance
+            for step in self.step_results
+            for layer in step.layer_results
+            if layer.total_macs > 0
+        ]
+        return sum(imbalances) / len(imbalances) if imbalances else 0.0
+
+
+class AcceleratorSimulator:
+    """Simulates a workload trace on a given accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig, energy_table: EnergyTable | None = None):
+        self.config = config
+        self.energy_table = energy_table or DEFAULT_ENERGY_TABLE
+        self.controller = AcceleratorController(config, self.energy_table)
+
+    def run_layer(self, workload: ConvLayerWorkload, time_step: int = 0) -> LayerExecutionResult:
+        """Execute a single layer workload (unit-level entry point)."""
+        return self.controller.execute_layer(workload, time_step)
+
+    def run_step(self, workloads: list[ConvLayerWorkload], time_step: int = 0) -> StepResult:
+        """Execute all layers of one time step back to back."""
+        cycles = 0.0
+        energy = EnergyBreakdown()
+        layer_results = []
+        for workload in workloads:
+            result = self.controller.execute_layer(workload, time_step)
+            cycles += result.cycles
+            energy = energy + result.energy
+            layer_results.append(result)
+        return StepResult(time_step=time_step, cycles=cycles, energy=energy, layer_results=layer_results)
+
+    def run_trace(self, trace: WorkloadTrace) -> SimulationReport:
+        """Execute a full multi-time-step workload trace."""
+        self.controller.reset()
+        step_results = []
+        total_cycles = 0.0
+        total_energy = EnergyBreakdown()
+        for time_step, workloads in enumerate(trace):
+            step = self.run_step(workloads, time_step)
+            step_results.append(step)
+            total_cycles += step.cycles
+            total_energy = total_energy + step.energy
+        return SimulationReport(
+            config_name=self.config.name,
+            total_cycles=total_cycles,
+            total_energy=total_energy,
+            step_results=step_results,
+            clock_ghz=self.config.clock_ghz,
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """Speed-up and energy saving of one configuration relative to a baseline."""
+
+    baseline: SimulationReport
+    candidate: SimulationReport
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate.total_cycles == 0:
+            return float("inf")
+        return self.baseline.total_cycles / self.candidate.total_cycles
+
+    @property
+    def energy_saving(self) -> float:
+        baseline_energy = self.baseline.total_energy.total_pj
+        if baseline_energy == 0:
+            return 0.0
+        return 1.0 - self.candidate.total_energy.total_pj / baseline_energy
+
+
+def compare_to_dense_baseline(
+    trace: WorkloadTrace,
+    sqdm: AcceleratorConfig | None = None,
+    baseline: AcceleratorConfig | None = None,
+    energy_table: EnergyTable | None = None,
+) -> ComparisonResult:
+    """Run a trace on both the SQ-DM accelerator and the dense 2-DPE baseline.
+
+    This is the Fig. 12 (top) comparison: identical multiplier count, the
+    only difference being that SQ-DM routes sparse channels through the
+    SIGMA-like sparse datapath.
+    """
+    sqdm = sqdm or sqdm_config()
+    baseline = baseline or dense_baseline_config()
+    candidate_report = AcceleratorSimulator(sqdm, energy_table).run_trace(trace)
+    baseline_report = AcceleratorSimulator(baseline, energy_table).run_trace(trace)
+    return ComparisonResult(baseline=baseline_report, candidate=candidate_report)
+
+
+def retime_trace_precision(trace: WorkloadTrace, weight_bits: int, act_bits: int) -> WorkloadTrace:
+    """Copy a trace with every layer's precision replaced (for FP16-vs-4-bit studies)."""
+    new_trace: WorkloadTrace = []
+    for workloads in trace:
+        step = []
+        for w in workloads:
+            step.append(
+                ConvLayerWorkload(
+                    name=w.name,
+                    in_channels=w.in_channels,
+                    out_channels=w.out_channels,
+                    kernel_size=w.kernel_size,
+                    out_height=w.out_height,
+                    out_width=w.out_width,
+                    weight_bits=weight_bits,
+                    act_bits=act_bits,
+                    channel_sparsity=w.channel_sparsity.copy(),
+                    block_type=w.block_type,
+                )
+            )
+        new_trace.append(step)
+    return new_trace

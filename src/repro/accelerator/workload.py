@@ -1,0 +1,167 @@
+"""Layer workload descriptions consumed by the accelerator simulator.
+
+The accelerator does not re-execute the NumPy network; it consumes compact
+*workload descriptors*: per-layer convolution geometry, operand precisions
+and the per-input-channel activation sparsity observed at a given time step.
+These descriptors are produced from the model by
+:mod:`repro.core.pipeline` / :mod:`repro.core.sparsity` and can also be
+constructed synthetically for unit tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ConvLayerWorkload:
+    """One convolution layer's execution at one diffusion time step.
+
+    Attributes
+    ----------
+    name:
+        Layer name (e.g. ``enc.16x16_block0.conv0``).
+    in_channels / out_channels / kernel_size / out_height / out_width:
+        Convolution geometry (stride-1, same-padded convs in EDM).
+    weight_bits / act_bits:
+        Operand precisions after the SQ-DM quantization policy (4, 8 or 16).
+    channel_sparsity:
+        Per-input-channel fraction of zero activation values, length
+        ``in_channels``; drives the dense/sparse channel grouping.
+    block_type:
+        The paper's block category, used for cost breakdowns.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    out_height: int
+    out_width: int
+    weight_bits: int = 16
+    act_bits: int = 16
+    channel_sparsity: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    block_type: str = "Conv+Act"
+
+    def __post_init__(self) -> None:
+        self.channel_sparsity = np.asarray(self.channel_sparsity, dtype=np.float64)
+        if self.channel_sparsity.size == 0:
+            self.channel_sparsity = np.zeros(self.in_channels)
+        if self.channel_sparsity.shape != (self.in_channels,):
+            raise ValueError(
+                f"channel_sparsity must have shape ({self.in_channels},), "
+                f"got {self.channel_sparsity.shape}"
+            )
+        if np.any((self.channel_sparsity < 0) | (self.channel_sparsity > 1)):
+            raise ValueError("channel sparsities must lie in [0, 1]")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def spatial(self) -> int:
+        return self.out_height * self.out_width
+
+    @property
+    def macs_per_input_channel(self) -> int:
+        """MACs contributed by one input channel (all output channels, all pixels)."""
+        return self.out_channels * self.kernel_size * self.kernel_size * self.spatial
+
+    @property
+    def total_macs(self) -> int:
+        return self.in_channels * self.macs_per_input_channel
+
+    @property
+    def average_sparsity(self) -> float:
+        return float(np.mean(self.channel_sparsity)) if self.in_channels else 0.0
+
+    def weight_bytes(self) -> float:
+        """Weight footprint in bytes at the layer's weight precision."""
+        elements = self.out_channels * self.in_channels * self.kernel_size * self.kernel_size
+        return elements * self.weight_bits / 8.0
+
+    def input_bytes(self, dense_only: bool = True, channel_mask: np.ndarray | None = None) -> float:
+        """Input activation footprint in bytes.
+
+        ``channel_mask`` restricts the count to a subset of input channels;
+        when ``dense_only`` is false the per-channel sparsity is used to
+        count only the nonzero values plus a 1-bit-per-element bitmap
+        (the compressed sparse-channel storage of Fig. 10).
+        """
+        mask = np.ones(self.in_channels, dtype=bool) if channel_mask is None else channel_mask
+        per_channel_elems = self.spatial
+        if dense_only:
+            elements = float(np.count_nonzero(mask)) * per_channel_elems
+            return elements * self.act_bits / 8.0
+        density = 1.0 - self.channel_sparsity[mask]
+        value_bytes = float(np.sum(density)) * per_channel_elems * self.act_bits / 8.0
+        bitmap_bytes = float(np.count_nonzero(mask)) * per_channel_elems / 8.0
+        return value_bytes + bitmap_bytes
+
+    def output_bytes(self) -> float:
+        """Output activation footprint in bytes (stored densely before the PPU)."""
+        return self.out_channels * self.spatial * self.act_bits / 8.0
+
+
+def conv_workload_from_layer(
+    name: str,
+    conv,
+    spatial: tuple[int, int],
+    channel_sparsity: np.ndarray | None = None,
+    weight_bits: int = 16,
+    act_bits: int = 16,
+    block_type: str = "Conv+Act",
+) -> ConvLayerWorkload:
+    """Build a workload descriptor from a :class:`repro.nn.layers.Conv2d` layer."""
+    out_h, out_w = spatial
+    sparsity = channel_sparsity if channel_sparsity is not None else np.zeros(conv.in_channels)
+    return ConvLayerWorkload(
+        name=name,
+        in_channels=conv.in_channels,
+        out_channels=conv.out_channels,
+        kernel_size=conv.kernel_size,
+        out_height=out_h,
+        out_width=out_w,
+        weight_bits=weight_bits,
+        act_bits=act_bits,
+        channel_sparsity=np.asarray(sparsity, dtype=np.float64),
+        block_type=block_type,
+    )
+
+
+def random_workload(
+    in_channels: int = 64,
+    out_channels: int = 64,
+    spatial: int = 16,
+    kernel_size: int = 3,
+    mean_sparsity: float = 0.65,
+    sparsity_spread: float = 0.3,
+    weight_bits: int = 4,
+    act_bits: int = 4,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> ConvLayerWorkload:
+    """A synthetic workload with a controllable per-channel sparsity distribution.
+
+    Per-channel sparsities are drawn from a Beta distribution whose mean is
+    ``mean_sparsity``; ``sparsity_spread`` widens the distribution so that
+    both near-dense and near-empty channels exist, mimicking Fig. 7.
+    """
+    rng = np.random.default_rng(seed)
+    spread = float(np.clip(sparsity_spread, 1e-3, 0.49))
+    concentration = (1.0 - spread * 2.0) / (spread * 2.0) + 1e-6
+    alpha = max(mean_sparsity * concentration, 1e-3)
+    beta = max((1.0 - mean_sparsity) * concentration, 1e-3)
+    sparsity = rng.beta(alpha, beta, size=in_channels)
+    return ConvLayerWorkload(
+        name=name,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_size=kernel_size,
+        out_height=spatial,
+        out_width=spatial,
+        weight_bits=weight_bits,
+        act_bits=act_bits,
+        channel_sparsity=sparsity,
+    )

@@ -1,0 +1,48 @@
+"""Analysis utilities backing each table and figure of the paper."""
+
+from .breakdown import BLOCK_TYPES, BreakdownReport, cost_breakdown
+from .distributions import (
+    ActivationDistribution,
+    LevelUtilization,
+    compare_activation_distributions,
+    distribution_summary,
+    measure_model_sparsity,
+    quantization_level_utilization,
+    silu_minimum,
+    silu_vs_relu_level_utilization,
+)
+from .sensitivity import BlockSensitivity, SensitivityReport, block_sensitivity_sweep
+from .speedup import (
+    FormatSpeedup,
+    SystemEvaluation,
+    WorkloadSpeedup,
+    figure1_summary,
+    summarize_hardware,
+)
+from .tables import format_percentage, format_speedup, format_table, render_ascii_map
+
+__all__ = [
+    "BLOCK_TYPES",
+    "ActivationDistribution",
+    "BlockSensitivity",
+    "BreakdownReport",
+    "FormatSpeedup",
+    "LevelUtilization",
+    "SensitivityReport",
+    "SystemEvaluation",
+    "WorkloadSpeedup",
+    "block_sensitivity_sweep",
+    "compare_activation_distributions",
+    "cost_breakdown",
+    "distribution_summary",
+    "figure1_summary",
+    "format_percentage",
+    "format_speedup",
+    "format_table",
+    "measure_model_sparsity",
+    "quantization_level_utilization",
+    "render_ascii_map",
+    "silu_minimum",
+    "silu_vs_relu_level_utilization",
+    "summarize_hardware",
+]

@@ -1,0 +1,108 @@
+"""System-level speed-up and energy roll-ups (Fig. 1 and Fig. 12).
+
+Aggregates the per-workload hardware evaluations into the quantities the
+paper headlines:
+
+* per-dataset speed-up and energy saving of the DPE+SPE accelerator over the
+  dense 2-DPE baseline (Fig. 12, top; paper average 1.83x / 51.5%);
+* the total speed-up stack over an FP16 SiLU-based model on a dense
+  accelerator: quantization contributes ~3.78x and temporal sparsity a
+  further ~1.83x for ~6.91x total (Fig. 12, bottom / Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pipeline import HardwareEvaluation
+
+
+@dataclass
+class WorkloadSpeedup:
+    """Fig. 12 numbers for one dataset."""
+
+    workload: str
+    sparsity_speedup: float
+    energy_saving: float
+    quantization_speedup: float
+    total_speedup: float
+    average_sparsity: float
+
+
+@dataclass
+class SystemEvaluation:
+    """Fig. 12 summary across all evaluated workloads."""
+
+    per_workload: list[WorkloadSpeedup]
+
+    @property
+    def average_sparsity_speedup(self) -> float:
+        return float(np.mean([w.sparsity_speedup for w in self.per_workload]))
+
+    @property
+    def average_energy_saving(self) -> float:
+        return float(np.mean([w.energy_saving for w in self.per_workload]))
+
+    @property
+    def average_quantization_speedup(self) -> float:
+        return float(np.mean([w.quantization_speedup for w in self.per_workload]))
+
+    @property
+    def average_total_speedup(self) -> float:
+        return float(np.mean([w.total_speedup for w in self.per_workload]))
+
+    def speedup_stack(self) -> dict[str, float]:
+        """The Fig. 12 (bottom) stack: FP16 baseline, +quantization, +sparsity."""
+        return {
+            "FP16 dense": 1.0,
+            "+ 4-bit quantization": self.average_quantization_speedup,
+            "+ temporal sparsity (total)": self.average_total_speedup,
+        }
+
+
+def summarize_hardware(evaluations: list[HardwareEvaluation]) -> SystemEvaluation:
+    """Convert raw per-workload hardware evaluations into the Fig. 12 summary."""
+    rows = [
+        WorkloadSpeedup(
+            workload=ev.workload,
+            sparsity_speedup=ev.sparsity_speedup,
+            energy_saving=ev.sparsity_energy_saving,
+            quantization_speedup=ev.quantization_speedup,
+            total_speedup=ev.total_speedup,
+            average_sparsity=ev.average_sparsity,
+        )
+        for ev in evaluations
+    ]
+    return SystemEvaluation(per_workload=rows)
+
+
+@dataclass
+class FormatSpeedup:
+    """Fig. 1 annotation for one data format: image quality proxy and speed-up."""
+
+    format_name: str
+    fid: float
+    speedup_vs_fp16: float
+
+
+def figure1_summary(
+    format_fids: dict[str, float], quantization_speedup: float, total_speedup: float
+) -> list[FormatSpeedup]:
+    """Assemble the Fig. 1 row: FP16 (1x), INT4 / INT4-VSQ (quant-only speed-up), Ours (total).
+
+    ``format_fids`` maps format names to measured FID values; speed-ups follow
+    the paper's attribution: pure 4-bit formats only benefit from the
+    precision scaling, while "Ours" adds the temporal-sparsity speed-up.
+    """
+    rows = []
+    for name, fid in format_fids.items():
+        if name in ("FP16", "FP32"):
+            speed = 1.0
+        elif name.startswith("Ours"):
+            speed = total_speedup
+        else:
+            speed = quantization_speedup
+        rows.append(FormatSpeedup(format_name=name, fid=fid, speedup_vs_fp16=speed))
+    return rows

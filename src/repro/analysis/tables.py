@@ -1,0 +1,57 @@
+"""Plain-text rendering of the paper's tables and figure data.
+
+Every benchmark prints the rows/series the corresponding paper artefact
+reports, using these helpers so the output format is consistent and easy to
+diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) >= 1000 or abs(cell) < 0.01):
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_percentage(value: float) -> str:
+    """Render a 0-1 fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"
+
+
+def format_speedup(value: float) -> str:
+    """Render a speed-up factor ("6.91x")."""
+    return f"{value:.2f}x"
+
+
+def render_ascii_map(binary_map, zero_char: str = "#", one_char: str = ".") -> str:
+    """Render a binary channel x time-step map as ASCII art (Fig. 7 style).
+
+    By convention ``1`` (sparse / mostly-zero) renders as ``#`` (black in the
+    paper's figure) and ``0`` (dense) as ``.`` (white).
+    """
+    lines = []
+    for row in binary_map:
+        lines.append("".join(zero_char if cell else one_char for cell in row))
+    return "\n".join(lines)

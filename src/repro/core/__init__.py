@@ -1,0 +1,65 @@
+"""SQ-DM core: the paper's contribution (mixed-precision + temporal sparsity co-design)."""
+
+from .costs import CostSummary, LayerCost, cost_summary, high_precision_cost_fraction, layer_cost_table
+from .pipeline import (
+    HardwareEvaluation,
+    PipelineConfig,
+    QuantizationEvaluation,
+    SQDMPipeline,
+)
+from .policy import (
+    LayerAssignment,
+    QuantizationPolicy,
+    mixed_precision_policy,
+    sensitive_block_names,
+    single_block_4bit_policy,
+    table1_policy,
+    uniform_policy,
+)
+from .scheduler import (
+    ThresholdAnalysisPoint,
+    UpdatePeriodPoint,
+    analyze_threshold,
+    analyze_update_period,
+    best_threshold,
+    detection_overhead_fraction,
+)
+from .sparsity import (
+    TemporalSparsityTrace,
+    TracedLayer,
+    collect_sparsity_trace,
+    sparsity_map,
+    trace_to_workloads,
+    traced_layers_for_model,
+)
+
+__all__ = [
+    "CostSummary",
+    "HardwareEvaluation",
+    "LayerAssignment",
+    "LayerCost",
+    "PipelineConfig",
+    "QuantizationEvaluation",
+    "QuantizationPolicy",
+    "SQDMPipeline",
+    "TemporalSparsityTrace",
+    "ThresholdAnalysisPoint",
+    "TracedLayer",
+    "UpdatePeriodPoint",
+    "analyze_threshold",
+    "analyze_update_period",
+    "best_threshold",
+    "collect_sparsity_trace",
+    "cost_summary",
+    "detection_overhead_fraction",
+    "high_precision_cost_fraction",
+    "layer_cost_table",
+    "mixed_precision_policy",
+    "sensitive_block_names",
+    "single_block_4bit_policy",
+    "sparsity_map",
+    "table1_policy",
+    "trace_to_workloads",
+    "traced_layers_for_model",
+    "uniform_policy",
+]

@@ -1,0 +1,245 @@
+"""End-to-end SQ-DM pipeline.
+
+Ties the pieces of the co-design together, mirroring the paper's flow:
+
+1. start from a (SiLU-based) EDM workload;
+2. optionally adapt it to ReLU (Sec. III-B) via calibration;
+3. apply a quantization policy (uniform Table I format, or the paper's
+   mixed-precision schemes of Table II);
+4. generate images and measure quality with the proxy FID;
+5. trace the temporal per-channel activation sparsity during sampling;
+6. run the trace through the accelerator simulator against the dense
+   baseline and the FP16 reference, producing the speed-up / energy numbers
+   of Figs. 1 and 12.
+
+The :class:`SQDMPipeline` caches reference FID statistics and FP16 baseline
+hardware runs per workload so parameter sweeps (Tables I/II, Fig. 3,
+Fig. 11) do not redo shared work.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
+from ..accelerator.simulator import AcceleratorSimulator, SimulationReport
+from ..diffusion.fid import FIDEvaluator
+from ..diffusion.finetune import adapt_to_relu, make_calibration_batch
+from ..diffusion.sampler import SamplerConfig, sample
+from ..diffusion.schedule import ScheduleConfig
+from ..nn.unet import EDMUNet
+from ..workloads.models import Workload, load_workload
+from .costs import CostSummary, cost_summary
+from .policy import QuantizationPolicy, mixed_precision_policy, table1_policy
+from .sparsity import TemporalSparsityTrace, collect_sparsity_trace, trace_to_workloads
+
+
+@dataclass
+class PipelineConfig:
+    """Evaluation-scale knobs shared by all experiments."""
+
+    num_fid_samples: int = 24
+    num_reference_samples: int = 512
+    num_sampling_steps: int = 8
+    num_trace_samples: int = 2
+    zero_tolerance_rel: float = 1.0 / 30.0
+    seed: int = 0
+
+    def sampler_config(self) -> SamplerConfig:
+        return SamplerConfig(
+            schedule=ScheduleConfig(num_steps=self.num_sampling_steps), seed=self.seed
+        )
+
+
+@dataclass
+class QuantizationEvaluation:
+    """Quality + cost of one quantization scheme on one workload."""
+
+    workload: str
+    scheme: str
+    fid: float
+    costs: CostSummary
+    relu_based: bool = False
+
+    @property
+    def compute_saving(self) -> float:
+        return self.costs.compute_saving
+
+    @property
+    def memory_saving(self) -> float:
+        return self.costs.memory_saving
+
+
+@dataclass
+class HardwareEvaluation:
+    """Accelerator results for one workload under the SQ-DM policy."""
+
+    workload: str
+    sqdm_report: SimulationReport
+    dense_baseline_report: SimulationReport
+    fp16_dense_report: SimulationReport
+    average_sparsity: float
+
+    @property
+    def sparsity_speedup(self) -> float:
+        """Speed-up of DPE+SPE over the 2-DPE dense baseline at equal precision."""
+        return self.dense_baseline_report.total_cycles / self.sqdm_report.total_cycles
+
+    @property
+    def sparsity_energy_saving(self) -> float:
+        baseline = self.dense_baseline_report.total_energy.total_pj
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.sqdm_report.total_energy.total_pj / baseline
+
+    @property
+    def quantization_speedup(self) -> float:
+        """Speed-up of the quantized dense baseline over the FP16 dense baseline."""
+        return self.fp16_dense_report.total_cycles / self.dense_baseline_report.total_cycles
+
+    @property
+    def total_speedup(self) -> float:
+        """Total speed-up of SQ-DM over an FP16 dense accelerator (Fig. 12, bottom)."""
+        return self.fp16_dense_report.total_cycles / self.sqdm_report.total_cycles
+
+
+class SQDMPipeline:
+    """Runs quality and hardware evaluations for one paper workload."""
+
+    def __init__(
+        self,
+        workload_name: str = "cifar10",
+        config: PipelineConfig | None = None,
+        workload: Workload | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.workload = workload or load_workload(workload_name)
+        self._fid_evaluator: FIDEvaluator | None = None
+        self._relu_unet: EDMUNet | None = None
+
+    # -- shared infrastructure -------------------------------------------------
+
+    @property
+    def fid_evaluator(self) -> FIDEvaluator:
+        if self._fid_evaluator is None:
+            evaluator = FIDEvaluator()
+            evaluator.set_reference(
+                self.workload.dataset.reference_samples(self.config.num_reference_samples)
+            )
+            self._fid_evaluator = evaluator
+        return self._fid_evaluator
+
+    def relu_unet(self) -> EDMUNet:
+        """The SiLU model adapted to ReLU (cached; Sec. III-B)."""
+        if self._relu_unet is None:
+            calibration = make_calibration_batch(
+                self.workload.image_shape,
+                batch_size=2,
+                sigma_data=self.workload.dataset.sigma_data(),
+                label_dim=self.workload.unet.config.label_dim,
+                seed=self.config.seed,
+            )
+            self._relu_unet, _ = adapt_to_relu(self.workload.unet, calibration)
+        return self._relu_unet
+
+    def _model_for(self, relu: bool) -> EDMUNet:
+        base = self.relu_unet() if relu else self.workload.unet
+        return copy.deepcopy(base)
+
+    def _denoiser_for(self, model: EDMUNet):
+        from ..diffusion.edm import EDMDenoiser
+
+        return EDMDenoiser(model, prior=self.workload.dataset.prior)
+
+    # -- quality evaluation ------------------------------------------------------
+
+    def evaluate_policy(self, policy: QuantizationPolicy | None, scheme_name: str | None = None) -> QuantizationEvaluation:
+        """Generate images under a quantization policy and score them with FID."""
+        relu = bool(policy is not None and policy.requires_relu)
+        model = self._model_for(relu)
+        if policy is not None:
+            policy.apply(model)
+        denoiser = self._denoiser_for(model)
+        result = sample(
+            denoiser,
+            self.config.num_fid_samples,
+            self.workload.image_shape,
+            self.config.sampler_config(),
+        )
+        fid = self.fid_evaluator.fid(result.images)
+        costs = cost_summary(model, policy)
+        return QuantizationEvaluation(
+            workload=self.workload.name,
+            scheme=scheme_name or (policy.name if policy is not None else "FP32"),
+            fid=fid,
+            costs=costs,
+            relu_based=relu,
+        )
+
+    def evaluate_format(self, format_name: str) -> QuantizationEvaluation:
+        """Evaluate one Table I uniform format ("FP32", "INT8", "INT4-VSQ", ...)."""
+        model = self._model_for(relu=False)
+        if format_name in ("FP32",):
+            return self.evaluate_policy(None, scheme_name="FP32")
+        policy = table1_policy(model, format_name)
+        return self.evaluate_policy(policy, scheme_name=format_name)
+
+    def evaluate_mixed_precision(self, relu: bool) -> QuantizationEvaluation:
+        """Evaluate Ours (MP-only) or Ours (MP+ReLU) from Table II."""
+        model = self._model_for(relu)
+        policy = mixed_precision_policy(model, relu=relu)
+        return self.evaluate_policy(policy, scheme_name=policy.name)
+
+    # -- sparsity + hardware evaluation --------------------------------------------
+
+    def collect_trace(self, relu: bool = True, policy: QuantizationPolicy | None = None) -> TemporalSparsityTrace:
+        """Collect the temporal per-channel sparsity trace for this workload."""
+        model = self._model_for(relu)
+        if policy is None:
+            policy = mixed_precision_policy(model, relu=relu)
+        policy.apply(model)
+        denoiser = self._denoiser_for(model)
+        return collect_sparsity_trace(
+            denoiser,
+            self.workload.image_shape,
+            self.config.sampler_config(),
+            num_samples=self.config.num_trace_samples,
+            zero_tolerance_rel=self.config.zero_tolerance_rel,
+        )
+
+    def evaluate_hardware(
+        self,
+        trace: TemporalSparsityTrace | None = None,
+        sqdm: AcceleratorConfig | None = None,
+        baseline: AcceleratorConfig | None = None,
+    ) -> HardwareEvaluation:
+        """Run the Fig. 12 comparison for this workload.
+
+        The quantized trace (4-bit Conv blocks, 8-bit elsewhere, per the
+        MP+ReLU policy) is executed on the SQ-DM accelerator and on the
+        dense 2-DPE baseline; the same layer geometry at FP16 on the dense
+        baseline provides the total-speed-up reference.
+        """
+        model = self._model_for(relu=True)
+        policy = mixed_precision_policy(model, relu=True)
+        if trace is None:
+            trace = self.collect_trace(relu=True, policy=policy)
+
+        quant_trace = trace_to_workloads(trace, policy)
+        fp16_trace = trace_to_workloads(trace, policy=None, default_bits=16)
+
+        sqdm = sqdm or sqdm_config()
+        baseline = baseline or dense_baseline_config()
+        sqdm_report = AcceleratorSimulator(sqdm).run_trace(quant_trace)
+        dense_report = AcceleratorSimulator(baseline).run_trace(quant_trace)
+        fp16_report = AcceleratorSimulator(baseline).run_trace(fp16_trace)
+        return HardwareEvaluation(
+            workload=self.workload.name,
+            sqdm_report=sqdm_report,
+            dense_baseline_report=dense_report,
+            fp16_dense_report=fp16_report,
+            average_sparsity=trace.average_sparsity(),
+        )

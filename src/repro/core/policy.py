@@ -1,0 +1,244 @@
+"""Mixed-precision quantization policy (Sec. III-A and III-B of the paper).
+
+The SQ-DM quantization scheme:
+
+* **Sensitive blocks stay at 8-bit.**  The block-wise sensitivity experiment
+  (Fig. 3) shows only the first and last few U-Net blocks are materially
+  sensitive to 4-bit quantization; keeping them at MXINT8 costs only ~5% of
+  total compute/memory.
+* **Everything else goes to 4-bit** using the paper's INT4 format with FP8
+  (E4M3) per-vector scale factors for weights, and — once SiLU has been
+  replaced with ReLU — UINT4 with FP8 scales for activations, so that all 16
+  levels of the 4-bit code are used (Fig. 6).
+* **Skip / Embedding / Attention blocks stay at 8-bit** because they account
+  for well under 10% of compute and memory (Fig. 4).
+
+``QuantizationPolicy`` assigns a weight/activation format pair to every
+quantizable layer of an :class:`~repro.nn.unet.EDMUNet` and can apply or
+strip those assignments in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nn.layers import Conv2d, Linear, Module
+from ..nn.unet import BLOCK_ATTENTION, BLOCK_CONV, BLOCK_EMBEDDING, BLOCK_SKIP, EDMUNet
+from ..quant.formats import (
+    QuantFormatSpec,
+    fp16_spec,
+    fp32_spec,
+    int4_fp8_spec,
+    int4_spec,
+    int4_vsq_spec,
+    int8_spec,
+    mxint8_spec,
+    uint4_fp8_spec,
+)
+
+
+@dataclass
+class LayerAssignment:
+    """Format assignment for one quantizable layer."""
+
+    layer_name: str
+    block_name: str
+    block_type: str
+    weight_spec: QuantFormatSpec
+    act_spec: QuantFormatSpec
+
+    @property
+    def weight_bits(self) -> int:
+        return self.weight_spec.element_bits
+
+    @property
+    def act_bits(self) -> int:
+        return self.act_spec.element_bits
+
+
+@dataclass
+class QuantizationPolicy:
+    """A complete per-layer format assignment for a U-Net.
+
+    ``name`` identifies the scheme in tables ("INT4-VSQ", "Ours (MP-only)",
+    "Ours (MP+ReLU)", ...).  ``assignments`` maps layer names to their
+    format pair.
+    """
+
+    name: str
+    assignments: dict[str, LayerAssignment] = field(default_factory=dict)
+    requires_relu: bool = False
+
+    def apply(self, model: EDMUNet) -> None:
+        """Attach the weight/activation specs to the model's layers in place."""
+        layer_index = _quantizable_layers(model)
+        for layer_name, assignment in self.assignments.items():
+            layer = layer_index.get(layer_name)
+            if layer is None:
+                raise KeyError(f"policy refers to unknown layer {layer_name!r}")
+            layer.weight_spec = assignment.weight_spec if assignment.weight_spec.is_quantized else None
+            layer.act_spec = assignment.act_spec if assignment.act_spec.is_quantized else None
+
+    def clear(self, model: EDMUNet) -> None:
+        """Remove all quantization specs from the model."""
+        for layer in _quantizable_layers(model).values():
+            layer.weight_spec = None
+            layer.act_spec = None
+
+    def bits_for_layer(self, layer_name: str) -> tuple[int, int]:
+        """(weight_bits, act_bits) a layer executes at under this policy."""
+        assignment = self.assignments.get(layer_name)
+        if assignment is None:
+            return 16, 16
+        return assignment.weight_bits, assignment.act_bits
+
+    def average_bits(self) -> tuple[float, float]:
+        """Unweighted average (weight, activation) bits across assigned layers."""
+        if not self.assignments:
+            return 16.0, 16.0
+        weight = sum(a.weight_bits for a in self.assignments.values()) / len(self.assignments)
+        act = sum(a.act_bits for a in self.assignments.values()) / len(self.assignments)
+        return weight, act
+
+
+def _quantizable_layers(model: EDMUNet) -> dict[str, Module]:
+    """All Conv2d/Linear layers keyed by their dotted module names."""
+    return {
+        name: module
+        for name, module in model.named_modules()
+        if isinstance(module, (Conv2d, Linear))
+    }
+
+
+def _classify_layer(model: EDMUNet, layer_name: str) -> tuple[str, str]:
+    """Map a dotted layer name to (block name, block category)."""
+    for info in model.block_infos():
+        if f".{info.name}." in layer_name or layer_name.endswith(f".{info.name}"):
+            tail = layer_name.rsplit(".", 1)[-1]
+            if tail in ("conv0", "conv1"):
+                return info.name, BLOCK_CONV
+            if tail == "skip_conv":
+                return info.name, BLOCK_SKIP
+            if tail == "emb_linear":
+                return info.name, BLOCK_EMBEDDING
+            if tail in ("qkv", "proj"):
+                return info.name, BLOCK_ATTENTION
+            return info.name, BLOCK_CONV
+    tail = layer_name.rsplit(".", 1)[-1]
+    if tail in ("conv_in", "conv_out"):
+        return tail, BLOCK_SKIP
+    if "label_linear" in tail or "emb_linear" in tail:
+        return tail, BLOCK_EMBEDDING
+    return tail, BLOCK_SKIP
+
+
+def sensitive_block_names(model: EDMUNet, num_boundary_blocks: int = 1) -> set[str]:
+    """Blocks kept at 8-bit: the first and last ``num_boundary_blocks`` blocks.
+
+    Mirrors the conclusion of Fig. 3 ("only the first and last few blocks are
+    generally more sensitive to quantization").
+    """
+    infos = model.block_infos()
+    if not infos:
+        return set()
+    k = max(0, min(num_boundary_blocks, len(infos)))
+    ordered = sorted(infos, key=lambda info: info.order)
+    names = {info.name for info in ordered[:k]}
+    names.update(info.name for info in ordered[-k:] if k > 0)
+    return names
+
+
+def uniform_policy(model: EDMUNet, spec: QuantFormatSpec, name: str | None = None) -> QuantizationPolicy:
+    """Quantize every layer's weights and activations with one format (Table I rows)."""
+    policy = QuantizationPolicy(name=name or spec.name)
+    for layer_name in _quantizable_layers(model):
+        block_name, block_type = _classify_layer(model, layer_name)
+        policy.assignments[layer_name] = LayerAssignment(
+            layer_name=layer_name,
+            block_name=block_name,
+            block_type=block_type,
+            weight_spec=spec,
+            act_spec=spec,
+        )
+    return policy
+
+
+def mixed_precision_policy(
+    model: EDMUNet,
+    relu: bool = False,
+    num_boundary_blocks: int = 1,
+    low_precision_block: QuantFormatSpec | None = None,
+    name: str | None = None,
+) -> QuantizationPolicy:
+    """The paper's mixed-precision policy: Ours (MP-only) or Ours (MP+ReLU).
+
+    Conv+Act convolutions in non-sensitive blocks run at 4-bit (INT4+FP8
+    scales for weights; UINT4+FP8 scales for activations when ``relu`` is
+    true, signed INT4 otherwise).  Sensitive boundary blocks and all Skip /
+    Embedding / Attention layers run at MXINT8.
+    """
+    eight_bit = mxint8_spec()
+    weight_4bit = low_precision_block or int4_fp8_spec()
+    act_4bit = uint4_fp8_spec() if relu else int4_fp8_spec()
+    sensitive = sensitive_block_names(model, num_boundary_blocks)
+
+    default_name = "Ours (MP+ReLU)" if relu else "Ours (MP-only)"
+    policy = QuantizationPolicy(name=name or default_name, requires_relu=relu)
+    for layer_name in _quantizable_layers(model):
+        block_name, block_type = _classify_layer(model, layer_name)
+        use_4bit = block_type == BLOCK_CONV and block_name not in sensitive
+        weight_spec = weight_4bit if use_4bit else eight_bit
+        act_spec = act_4bit if use_4bit else eight_bit
+        policy.assignments[layer_name] = LayerAssignment(
+            layer_name=layer_name,
+            block_name=block_name,
+            block_type=block_type,
+            weight_spec=weight_spec,
+            act_spec=act_spec,
+        )
+    return policy
+
+
+def single_block_4bit_policy(
+    model: EDMUNet, block_name: str, low_precision: QuantFormatSpec | None = None
+) -> QuantizationPolicy:
+    """Sensitivity-sweep policy (Fig. 3): one block at 4-bit, all others at MXINT8."""
+    if block_name not in set(model.block_names()):
+        raise KeyError(f"unknown block {block_name!r}; available: {model.block_names()}")
+    eight_bit = mxint8_spec()
+    four_bit = low_precision or int4_fp8_spec()
+    policy = QuantizationPolicy(name=f"4bit@{block_name}")
+    for layer_name in _quantizable_layers(model):
+        owner, block_type = _classify_layer(model, layer_name)
+        use_4bit = owner == block_name and block_type == BLOCK_CONV
+        spec = four_bit if use_4bit else eight_bit
+        policy.assignments[layer_name] = LayerAssignment(
+            layer_name=layer_name,
+            block_name=owner,
+            block_type=block_type,
+            weight_spec=spec,
+            act_spec=spec,
+        )
+    return policy
+
+
+#: Table I row label -> format-spec factory.
+TABLE1_POLICY_SPECS = {
+    "FP32": fp32_spec,
+    "FP16": fp16_spec,
+    "INT8": int8_spec,
+    "MXINT8": mxint8_spec,
+    "INT4": int4_spec,
+    "INT4-VSQ": int4_vsq_spec,
+}
+
+
+def table1_policy(model: EDMUNet, format_name: str) -> QuantizationPolicy:
+    """Uniform policy for one of the Table I format rows."""
+    try:
+        spec = TABLE1_POLICY_SPECS[format_name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown Table I format {format_name!r}; expected one of {sorted(TABLE1_POLICY_SPECS)}"
+        ) from exc
+    return uniform_policy(model, spec, name=format_name)

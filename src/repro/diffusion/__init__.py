@@ -1,0 +1,59 @@
+"""Diffusion substrate: EDM preconditioning, samplers, datasets, FID, adaptation."""
+
+from .datasets import (
+    DATASET_LABELS,
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticImageDataset,
+    dataset_names,
+    load_dataset,
+)
+from .edm import EDMDenoiser, EDMPrecond, model_is_quantized, quantization_disabled
+from .fid import (
+    FeatureStatistics,
+    FIDEvaluator,
+    RandomFeatureExtractor,
+    compute_statistics,
+    frechet_distance,
+)
+from .finetune import (
+    AdaptationReport,
+    CalibrationBatch,
+    adapt_to_relu,
+    make_calibration_batch,
+)
+from .prior import GaussianMixturePrior, make_smooth_templates
+from .sampler import SamplerConfig, SamplingResult, sample, sample_euler
+from .schedule import ScheduleConfig, karras_sigmas, linear_sigmas, num_model_evaluations
+
+__all__ = [
+    "DATASET_LABELS",
+    "DATASET_SPECS",
+    "AdaptationReport",
+    "CalibrationBatch",
+    "DatasetSpec",
+    "EDMDenoiser",
+    "EDMPrecond",
+    "FIDEvaluator",
+    "FeatureStatistics",
+    "GaussianMixturePrior",
+    "RandomFeatureExtractor",
+    "SamplerConfig",
+    "SamplingResult",
+    "ScheduleConfig",
+    "SyntheticImageDataset",
+    "adapt_to_relu",
+    "compute_statistics",
+    "dataset_names",
+    "frechet_distance",
+    "karras_sigmas",
+    "linear_sigmas",
+    "load_dataset",
+    "make_calibration_batch",
+    "make_smooth_templates",
+    "model_is_quantized",
+    "num_model_evaluations",
+    "quantization_disabled",
+    "sample",
+    "sample_euler",
+]

@@ -1,0 +1,67 @@
+"""Noise-level schedules for EDM sampling.
+
+EDM (Karras et al. 2022) samples with a decreasing sequence of noise levels
+
+    sigma_i = (sigma_max^(1/rho) + i/(N-1) * (sigma_min^(1/rho) - sigma_max^(1/rho)))^rho
+
+with ``rho = 7`` by default, followed by a terminal ``sigma = 0``.  Each
+noise level corresponds to one "time step", i.e. one full evaluation of the
+U-Net denoiser — the repeated evaluations whose cost SQ-DM attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Parameters of the Karras sigma schedule."""
+
+    num_steps: int = 18
+    sigma_min: float = 0.002
+    sigma_max: float = 80.0
+    rho: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.num_steps < 1:
+            raise ValueError("num_steps must be at least 1")
+        if not 0 < self.sigma_min < self.sigma_max:
+            raise ValueError("need 0 < sigma_min < sigma_max")
+        if self.rho <= 0:
+            raise ValueError("rho must be positive")
+
+
+def karras_sigmas(config: ScheduleConfig | None = None) -> np.ndarray:
+    """Return the length-``num_steps + 1`` sigma sequence (last entry is 0)."""
+    config = config or ScheduleConfig()
+    steps = np.arange(config.num_steps, dtype=np.float64)
+    if config.num_steps == 1:
+        ramp = np.zeros(1)
+    else:
+        ramp = steps / (config.num_steps - 1)
+    inv_rho_min = config.sigma_min ** (1.0 / config.rho)
+    inv_rho_max = config.sigma_max ** (1.0 / config.rho)
+    sigmas = (inv_rho_max + ramp * (inv_rho_min - inv_rho_max)) ** config.rho
+    return np.concatenate([sigmas, [0.0]])
+
+
+def linear_sigmas(num_steps: int, sigma_min: float = 0.002, sigma_max: float = 80.0) -> np.ndarray:
+    """A simple linearly spaced schedule, used as a baseline in ablations."""
+    if num_steps < 1:
+        raise ValueError("num_steps must be at least 1")
+    sigmas = np.linspace(sigma_max, sigma_min, num_steps)
+    return np.concatenate([sigmas, [0.0]])
+
+
+def num_model_evaluations(config: ScheduleConfig, second_order: bool = True) -> int:
+    """Number of U-Net evaluations a full sampling run performs.
+
+    Heun's method (the EDM default) performs two evaluations per step except
+    for the final step to sigma = 0, which needs only one.
+    """
+    if second_order:
+        return 2 * config.num_steps - 1
+    return config.num_steps

@@ -1,0 +1,236 @@
+"""Functional neural-network operations on NumPy arrays.
+
+These are the numerical primitives behind the EDM U-Net substrate:
+2-D convolution (via im2col + matmul), linear layers, group normalization,
+the SiLU and ReLU non-linearities central to the paper's co-design, softmax
+attention, and nearest-neighbour up/down-sampling.
+
+Tensors follow the NCHW layout: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Non-linearities
+# ---------------------------------------------------------------------------
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU(x) = x * sigmoid(x).
+
+    The paper (Sec. III-B) notes its output distribution spans
+    [-0.278..., inf), which forces signed activation formats and wastes
+    quantization levels.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return x * sigmoid(x)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """ReLU(x) = max(x, 0); the hardware-efficient replacement for SiLU."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+SILU_MIN = float(np.min(silu(np.linspace(-10, 0, 20001))))
+"""Minimum value of SiLU, approximately -0.278 (quoted in the paper)."""
+
+
+def activation_fn(name: str):
+    """Look up an activation function by name (``"silu"``, ``"relu"``, ``"none"``)."""
+    table = {"silu": silu, "relu": relu, "none": lambda x: np.asarray(x, dtype=np.float64)}
+    try:
+        return table[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown activation {name!r}; expected one of {sorted(table)}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Convolution via im2col
+# ---------------------------------------------------------------------------
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, padding: int = 0
+) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW input into columns for matmul-based convolution.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(batch, channels * kernel_h * kernel_w, out_h * out_w)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    batch, channels, height, width = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    padded_h, padded_w = x.shape[2], x.shape[3]
+    out_h = (padded_h - kernel_h) // stride + 1
+    out_w = (padded_w - kernel_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty: input {height}x{width}, "
+            f"kernel {kernel_h}x{kernel_w}, stride {stride}, padding {padding}"
+        )
+
+    # Gather all kernel offsets with strided slicing; loop is over the small
+    # kernel footprint only, so this stays fast for realistic layer sizes.
+    cols = np.empty((batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=np.float64)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(batch, channels * kernel_h * kernel_w, out_h * out_w), out_h, out_w
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution in NCHW layout.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_channels, height, width)``.
+    weight:
+        Kernel of shape ``(out_channels, in_channels, kernel_h, kernel_w)``.
+    bias:
+        Optional per-output-channel bias of shape ``(out_channels,)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    batch = x.shape[0]
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {in_channels}")
+
+    cols, out_h, out_w = im2col(x, kernel_h, kernel_w, stride=stride, padding=padding)
+    w_mat = weight.reshape(out_channels, -1)
+    out = np.einsum("ok,bkp->bop", w_mat, cols, optimize=True)
+    out = out.reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float64).reshape(1, -1, 1, 1)
+    return out
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map ``x @ weight.T + bias`` with weight shape (out, in)."""
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    out = x @ weight.T
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float64)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+def group_norm(
+    x: np.ndarray,
+    num_groups: int,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Group normalization over NCHW input.
+
+    Channels are partitioned into ``num_groups`` groups and normalized to
+    zero mean / unit variance within each (batch, group) slice.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    batch, channels, height, width = x.shape
+    if channels % num_groups != 0:
+        raise ValueError(f"{channels} channels not divisible into {num_groups} groups")
+    grouped = x.reshape(batch, num_groups, channels // num_groups, height, width)
+    mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+    var = grouped.var(axis=(2, 3, 4), keepdims=True)
+    normed = (grouped - mean) / np.sqrt(var + eps)
+    out = normed.reshape(batch, channels, height, width)
+    if gamma is not None:
+        out = out * np.asarray(gamma, dtype=np.float64).reshape(1, -1, 1, 1)
+    if beta is not None:
+        out = out + np.asarray(beta, dtype=np.float64).reshape(1, -1, 1, 1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Attention
+# ---------------------------------------------------------------------------
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Standard attention: softmax(QK^T / sqrt(d)) V.
+
+    Inputs have shape ``(batch, heads, tokens, head_dim)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = np.einsum("bhqd,bhkd->bhqk", q, k, optimize=True) * scale
+    weights = softmax(scores, axis=-1)
+    return np.einsum("bhqk,bhkd->bhqd", weights, v, optimize=True)
+
+
+# ---------------------------------------------------------------------------
+# Resampling
+# ---------------------------------------------------------------------------
+
+def downsample2x(x: np.ndarray) -> np.ndarray:
+    """2x spatial downsampling by average pooling (EDM encoder path)."""
+    x = np.asarray(x, dtype=np.float64)
+    batch, channels, height, width = x.shape
+    if height % 2 or width % 2:
+        raise ValueError(f"spatial dims must be even for 2x downsampling, got {height}x{width}")
+    return x.reshape(batch, channels, height // 2, 2, width // 2, 2).mean(axis=(3, 5))
+
+
+def upsample2x(x: np.ndarray) -> np.ndarray:
+    """2x spatial upsampling by nearest-neighbour replication (decoder path)."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.repeat(np.repeat(x, 2, axis=2), 2, axis=3)
+
+
+# ---------------------------------------------------------------------------
+# Embeddings
+# ---------------------------------------------------------------------------
+
+def positional_embedding(values: np.ndarray, dim: int, max_period: float = 10000.0) -> np.ndarray:
+    """Sinusoidal embedding of scalar conditioning values (noise levels).
+
+    Returns shape ``(len(values), dim)``; used by the EDM noise-level
+    embedding MLP.
+    """
+    values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    half = dim // 2
+    freqs = np.exp(-np.log(max_period) * np.arange(half, dtype=np.float64) / max(half, 1))
+    angles = values[:, None] * freqs[None, :]
+    emb = np.concatenate([np.cos(angles), np.sin(angles)], axis=1)
+    if emb.shape[1] < dim:
+        emb = np.pad(emb, ((0, 0), (0, dim - emb.shape[1])), mode="constant")
+    return emb

@@ -1,0 +1,403 @@
+"""EDM-style U-Net denoiser built on the NumPy layer substrate.
+
+The architecture follows Fig. 2 of the paper: an encoder/decoder U-Net whose
+blocks fall into the four categories the paper analyses —
+
+* ``Conv+SiLU`` (or ``Conv+ReLU`` after the SQ-DM swap): the residual
+  convolution blocks that dominate compute (>90%) and memory (>85%).
+* ``Skip``: the 1x1 convolutions that adapt channel counts on residual and
+  encoder-to-decoder skip paths.
+* ``Embedding``: the linear layers that inject the noise-level (and label)
+  embedding into each block.
+* ``Attention``: image self-attention at selected resolutions
+  (e.g. ``enc.16x16_block1`` in EDM1 for CIFAR-10).
+
+Blocks are named ``enc.{res}x{res}_block{i}`` / ``dec.{res}x{res}_block{i}``
+so that block-wise sensitivity sweeps (Fig. 3) can address them exactly as
+the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import functional as F
+from .layers import (
+    Activation,
+    Conv2d,
+    Downsample,
+    GroupNorm,
+    Linear,
+    Module,
+    SelfAttention2d,
+    Upsample,
+)
+
+#: Block-type labels used throughout the analysis package.
+BLOCK_CONV = "Conv+Act"
+BLOCK_SKIP = "Skip"
+BLOCK_EMBEDDING = "Embedding"
+BLOCK_ATTENTION = "Attention"
+
+
+@dataclass
+class UNetConfig:
+    """Configuration of the EDM U-Net denoiser.
+
+    The defaults produce a small model suitable for CPU simulation; the
+    paper-scale workloads in :mod:`repro.workloads` scale ``model_channels``
+    and ``img_resolution`` up per dataset.
+    """
+
+    img_resolution: int = 16
+    in_channels: int = 3
+    out_channels: int = 3
+    model_channels: int = 16
+    channel_mult: tuple[int, ...] = (1, 2)
+    num_blocks_per_res: int = 1
+    attn_resolutions: tuple[int, ...] = (8,)
+    emb_dim_mult: int = 4
+    activation: str = "silu"
+    label_dim: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.img_resolution < 4:
+            raise ValueError("img_resolution must be at least 4")
+        if self.img_resolution % (2 ** (len(self.channel_mult) - 1)) != 0:
+            raise ValueError(
+                "img_resolution must be divisible by 2^(len(channel_mult)-1) "
+                f"(got {self.img_resolution} with {len(self.channel_mult)} levels)"
+            )
+        if self.activation not in ("silu", "relu"):
+            raise ValueError(f"activation must be 'silu' or 'relu', got {self.activation!r}")
+
+    @property
+    def emb_dim(self) -> int:
+        return self.model_channels * self.emb_dim_mult
+
+    @property
+    def resolutions(self) -> list[int]:
+        return [self.img_resolution // (2**level) for level in range(len(self.channel_mult))]
+
+
+class UNetBlock(Module):
+    """One residual block: GN → act → conv → (+emb) → GN → act → conv (+skip).
+
+    Matches the structure of EDM's ``UNetBlock``: two 3x3 convolutions with a
+    noise-embedding injection between them, a 1x1 skip convolution when the
+    channel count changes, and optional image self-attention.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        emb_dim: int,
+        activation: str,
+        use_attention: bool,
+        name: str,
+        rng: np.random.Generator,
+    ):
+        super().__init__(name=name)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.use_attention = use_attention
+
+        self.norm0 = GroupNorm(in_channels, name="norm0")
+        self.act0 = Activation(activation, name="act0")
+        self.conv0 = Conv2d(in_channels, out_channels, kernel_size=3, name="conv0", rng=rng)
+        self.emb_linear = Linear(emb_dim, out_channels, name="emb_linear", rng=rng)
+        self.norm1 = GroupNorm(out_channels, name="norm1")
+        self.act1 = Activation(activation, name="act1")
+        self.conv1 = Conv2d(out_channels, out_channels, kernel_size=3, name="conv1", rng=rng)
+        self.skip_conv = (
+            Conv2d(in_channels, out_channels, kernel_size=1, padding=0, name="skip_conv", rng=rng)
+            if in_channels != out_channels
+            else None
+        )
+        self.attention = (
+            SelfAttention2d(out_channels, name="attention", rng=rng) if use_attention else None
+        )
+
+    def forward(self, x: np.ndarray, emb: np.ndarray) -> np.ndarray:
+        h = self.conv0(self.act0(self.norm0(x)))
+        emb_out = self.emb_linear(emb)
+        h = h + emb_out[:, :, None, None]
+        h = self.conv1(self.act1(self.norm1(h)))
+        skip = x if self.skip_conv is None else self.skip_conv(x)
+        out = (h + skip) / np.sqrt(2.0)
+        if self.attention is not None:
+            out = self.attention(out)
+        return self._record(out)
+
+    def set_activation(self, kind: str) -> None:
+        """Swap the non-linearity of this block (SiLU → ReLU for SQ-DM)."""
+        self.act0.kind = kind
+        self.act1.kind = kind
+
+    def conv_layers(self) -> list[Conv2d]:
+        """The Conv+Act convolutions (quantized to 4-bit in the SQ-DM policy)."""
+        return [self.conv0, self.conv1]
+
+    def component_costs(self, spatial: tuple[int, int], batch: int = 1) -> dict[str, dict[str, float]]:
+        """MAC and parameter/activation element counts by component category."""
+        height, width = spatial
+        costs: dict[str, dict[str, float]] = {}
+        conv_macs = (self.conv0.macs(spatial) + self.conv1.macs(spatial)) * batch
+        conv_params = self.conv0.weight.size + self.conv1.weight.size
+        conv_acts = batch * (self.in_channels + 2 * self.out_channels) * height * width
+        costs[BLOCK_CONV] = {"macs": float(conv_macs), "params": float(conv_params), "acts": float(conv_acts)}
+
+        emb_macs = self.emb_linear.macs(batch)
+        costs[BLOCK_EMBEDDING] = {
+            "macs": float(emb_macs),
+            "params": float(self.emb_linear.weight.size),
+            "acts": float(batch * self.emb_linear.out_features),
+        }
+
+        if self.skip_conv is not None:
+            costs[BLOCK_SKIP] = {
+                "macs": float(self.skip_conv.macs(spatial) * batch),
+                "params": float(self.skip_conv.weight.size),
+                "acts": float(batch * self.out_channels * height * width),
+            }
+        else:
+            costs[BLOCK_SKIP] = {"macs": 0.0, "params": 0.0, "acts": float(batch * self.out_channels * height * width)}
+
+        if self.attention is not None:
+            costs[BLOCK_ATTENTION] = {
+                "macs": float(self.attention.macs(spatial) * batch),
+                "params": float(self.attention.qkv.weight.size + self.attention.proj.weight.size),
+                "acts": float(batch * 4 * self.out_channels * height * width),
+            }
+        else:
+            costs[BLOCK_ATTENTION] = {"macs": 0.0, "params": 0.0, "acts": 0.0}
+        return costs
+
+
+@dataclass
+class BlockInfo:
+    """Description of one named U-Net block, used by analysis and policies."""
+
+    name: str
+    block: UNetBlock
+    resolution: int
+    stage: str  # "enc" or "dec"
+    index: int
+    order: int  # position in forward execution order
+    spatial: tuple[int, int] = field(default=(0, 0))
+
+
+class EDMUNet(Module):
+    """The full encoder/decoder U-Net used as the EDM denoiser backbone."""
+
+    def __init__(self, config: UNetConfig):
+        super().__init__(name="unet")
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        cm = config.model_channels
+
+        # Noise-level embedding MLP (the "Embedding" block category).
+        self.emb_linear0 = Linear(cm, config.emb_dim, name="emb_linear0", rng=rng)
+        self.emb_act = Activation(config.activation, name="emb_act")
+        self.emb_linear1 = Linear(config.emb_dim, config.emb_dim, name="emb_linear1", rng=rng)
+        self.label_linear = (
+            Linear(config.label_dim, config.emb_dim, name="label_linear", rng=rng)
+            if config.label_dim > 0
+            else None
+        )
+
+        self.conv_in = Conv2d(config.in_channels, cm, kernel_size=3, name="conv_in", rng=rng)
+
+        # Encoder.
+        self.enc_blocks: list[UNetBlock] = []
+        self.downsamples: list[Downsample] = []
+        self._block_infos: list[BlockInfo] = []
+        order = 0
+        channels = cm
+        skip_channels: list[int] = [cm]
+        for level, mult in enumerate(config.channel_mult):
+            resolution = config.resolutions[level]
+            out_ch = cm * mult
+            for i in range(config.num_blocks_per_res):
+                name = f"enc.{resolution}x{resolution}_block{i}"
+                block = UNetBlock(
+                    channels,
+                    out_ch,
+                    config.emb_dim,
+                    config.activation,
+                    use_attention=resolution in config.attn_resolutions,
+                    name=name,
+                    rng=rng,
+                )
+                self.enc_blocks.append(block)
+                self._block_infos.append(
+                    BlockInfo(name=name, block=block, resolution=resolution, stage="enc", index=i, order=order)
+                )
+                order += 1
+                channels = out_ch
+                skip_channels.append(out_ch)
+            if level < len(config.channel_mult) - 1:
+                self.downsamples.append(Downsample(name=f"down_{resolution}"))
+
+        # Decoder (mirrors the encoder, consuming skip connections).
+        self.dec_blocks: list[UNetBlock] = []
+        self.upsamples: list[Upsample] = []
+        for level in reversed(range(len(config.channel_mult))):
+            resolution = config.resolutions[level]
+            out_ch = cm * config.channel_mult[level]
+            for i in range(config.num_blocks_per_res):
+                skip_ch = skip_channels.pop()
+                name = f"dec.{resolution}x{resolution}_block{i}"
+                block = UNetBlock(
+                    channels + skip_ch,
+                    out_ch,
+                    config.emb_dim,
+                    config.activation,
+                    use_attention=resolution in config.attn_resolutions,
+                    name=name,
+                    rng=rng,
+                )
+                self.dec_blocks.append(block)
+                self._block_infos.append(
+                    BlockInfo(name=name, block=block, resolution=resolution, stage="dec", index=i, order=order)
+                )
+                order += 1
+                channels = out_ch
+            if level > 0:
+                self.upsamples.append(Upsample(name=f"up_{resolution}"))
+
+        self.norm_out = GroupNorm(channels, name="norm_out")
+        self.act_out = Activation(config.activation, name="act_out")
+        self.conv_out = Conv2d(channels, config.out_channels, kernel_size=3, name="conv_out", rng=rng)
+
+        self._annotate_spatial()
+
+    # -- structure ----------------------------------------------------------
+
+    def _annotate_spatial(self) -> None:
+        for info in self._block_infos:
+            info.spatial = (info.resolution, info.resolution)
+
+    def block_infos(self) -> list[BlockInfo]:
+        """All named U-Net blocks in execution order."""
+        return list(self._block_infos)
+
+    def block_names(self) -> list[str]:
+        return [info.name for info in self._block_infos]
+
+    def get_block(self, name: str) -> UNetBlock:
+        for info in self._block_infos:
+            if info.name == name:
+                return info.block
+        raise KeyError(f"unknown block {name!r}; available: {self.block_names()}")
+
+    def set_activation(self, kind: str) -> None:
+        """Swap every non-linearity in the model (SiLU ↔ ReLU)."""
+        self.config.activation = kind
+        self.emb_act.kind = kind
+        self.act_out.kind = kind
+        for info in self._block_infos:
+            info.block.set_activation(kind)
+
+    def embedding_layers(self) -> list[Linear]:
+        """All Embedding-category linear layers in the model."""
+        layers = [self.emb_linear0, self.emb_linear1]
+        if self.label_linear is not None:
+            layers.append(self.label_linear)
+        layers.extend(info.block.emb_linear for info in self._block_infos)
+        return layers
+
+    def skip_layers(self) -> list[Conv2d]:
+        """All Skip-category 1x1 convolutions (plus the in/out stem convs)."""
+        layers = [self.conv_in, self.conv_out]
+        layers.extend(
+            info.block.skip_conv for info in self._block_infos if info.block.skip_conv is not None
+        )
+        return layers
+
+    def attention_modules(self) -> list[SelfAttention2d]:
+        return [info.block.attention for info in self._block_infos if info.block.attention is not None]
+
+    # -- execution ----------------------------------------------------------
+
+    def compute_embedding(self, noise_cond: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+        """Noise-level (and optional class-label) embedding vector."""
+        emb = F.positional_embedding(noise_cond, self.config.model_channels)
+        emb = self.emb_linear0(emb)
+        if self.label_linear is not None and labels is not None:
+            emb = emb + self.label_linear(labels)
+        emb = self.emb_act(emb)
+        emb = self.emb_linear1(emb)
+        return emb
+
+    def forward(
+        self, x: np.ndarray, noise_cond: np.ndarray, labels: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Predict the denoised signal component F_theta(x; sigma).
+
+        ``noise_cond`` is the (already preconditioned) noise-level input
+        ``c_noise(sigma)`` with one entry per batch element.
+        """
+        emb = self.compute_embedding(noise_cond, labels)
+
+        h = self.conv_in(x)
+        skips = [h]
+        enc_iter = iter(self.enc_blocks)
+        down_iter = iter(self.downsamples)
+        for level in range(len(self.config.channel_mult)):
+            for _ in range(self.config.num_blocks_per_res):
+                h = next(enc_iter)(h, emb)
+                skips.append(h)
+            if level < len(self.config.channel_mult) - 1:
+                h = next(down_iter)(h)
+
+        dec_iter = iter(self.dec_blocks)
+        up_iter = iter(self.upsamples)
+        for level in reversed(range(len(self.config.channel_mult))):
+            for _ in range(self.config.num_blocks_per_res):
+                skip = skips.pop()
+                if skip.shape[2] != h.shape[2]:
+                    skip = F.downsample2x(skip) if skip.shape[2] > h.shape[2] else F.upsample2x(skip)
+                h = next(dec_iter)(np.concatenate([h, skip], axis=1), emb)
+            if level > 0:
+                h = next(up_iter)(h)
+
+        out = self.conv_out(self.act_out(self.norm_out(h)))
+        return self._record(out)
+
+    # -- cost model ---------------------------------------------------------
+
+    def cost_breakdown(self, batch: int = 1) -> dict[str, dict[str, float]]:
+        """Aggregate MAC / parameter / activation counts per block category.
+
+        This backs the Fig. 4 computation and memory breakdown: Conv+Act
+        dominates both because every block contributes two full 3x3
+        convolutions at its resolution.
+        """
+        totals = {
+            cat: {"macs": 0.0, "params": 0.0, "acts": 0.0}
+            for cat in (BLOCK_CONV, BLOCK_SKIP, BLOCK_EMBEDDING, BLOCK_ATTENTION)
+        }
+        for info in self._block_infos:
+            costs = info.block.component_costs(info.spatial, batch=batch)
+            for cat, vals in costs.items():
+                for key, value in vals.items():
+                    totals[cat][key] += value
+
+        # Stem convolutions and the embedding MLP count toward Skip/Embedding.
+        res = self.config.img_resolution
+        totals[BLOCK_SKIP]["macs"] += batch * (self.conv_in.macs((res, res)) + self.conv_out.macs((res, res)))
+        totals[BLOCK_SKIP]["params"] += self.conv_in.weight.size + self.conv_out.weight.size
+        totals[BLOCK_SKIP]["acts"] += batch * (self.config.model_channels + self.config.out_channels) * res * res
+        for layer in (self.emb_linear0, self.emb_linear1):
+            totals[BLOCK_EMBEDDING]["macs"] += batch * layer.macs(1)
+            totals[BLOCK_EMBEDDING]["params"] += layer.weight.size
+            totals[BLOCK_EMBEDDING]["acts"] += batch * layer.out_features
+        return totals
+
+    def total_macs(self, batch: int = 1) -> float:
+        return sum(cat["macs"] for cat in self.cost_breakdown(batch=batch).values())

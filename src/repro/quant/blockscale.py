@@ -1,0 +1,85 @@
+"""Block-scaled quantization: MXINT8 microscaling format.
+
+MXINT8 (Rouhani et al., "Microscaling data formats for deep learning") stores
+8-bit integer elements in blocks of (typically) 32 values that share a single
+power-of-two scale factor.  The paper finds that this fine-grained scaling is
+what allows 8-bit quantization of EDM with "negligible degradation in image
+quality across all datasets" (Table I), in contrast to coarse per-channel
+INT8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fp8 import quantize_scales
+from .formats import INT8, IntegerFormat
+from .uniform import QuantizedTensor, _pad_last_axis
+
+
+@dataclass(frozen=True)
+class BlockScaleConfig:
+    """Configuration of a block-scaled (MX-style) format."""
+
+    element_format: IntegerFormat = INT8
+    block_size: int = 32
+    scale_format: str = "pow2"
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+
+def quantize_blockscale(
+    x: np.ndarray, config: BlockScaleConfig | None = None
+) -> QuantizedTensor:
+    """Quantize ``x`` with a shared scale per contiguous block of the last axis.
+
+    The per-block scale is ``max(|block|) / qmax`` rounded to the configured
+    scale storage format (power-of-two for MX formats).  Returns a
+    :class:`~repro.quant.uniform.QuantizedTensor` whose ``scales`` array is
+    already broadcast to the element shape so dequantization is a plain
+    element-wise multiply.
+    """
+    config = config or BlockScaleConfig()
+    fmt = config.element_format
+    x = np.asarray(x, dtype=np.float64)
+    if not fmt.signed:
+        x = np.maximum(x, 0.0)
+
+    original_length = x.shape[-1]
+    padded, n_blocks = _pad_last_axis(x, config.block_size)
+    blocked = padded.reshape(*padded.shape[:-1], n_blocks, config.block_size)
+
+    amax = np.maximum(np.max(np.abs(blocked), axis=-1, keepdims=True), 1e-12)
+    scales = quantize_scales(amax / float(fmt.qmax), config.scale_format)
+    codes_blocked = np.clip(np.round(blocked / scales), fmt.qmin, fmt.qmax)
+
+    codes = codes_blocked.reshape(*padded.shape)[..., :original_length]
+    scales_full = np.broadcast_to(scales, blocked.shape).reshape(*padded.shape)[
+        ..., :original_length
+    ]
+    return QuantizedTensor(codes=codes, scales=np.array(scales_full), fmt=fmt, axis=None)
+
+
+def fake_quantize_blockscale(
+    x: np.ndarray, config: BlockScaleConfig | None = None
+) -> np.ndarray:
+    """Quantize-then-dequantize with block scaling (MXINT8 error injection)."""
+    qt = quantize_blockscale(x, config)
+    return qt.dequantize().reshape(np.asarray(x).shape)
+
+
+def mxint8_fake_quantize(x: np.ndarray, block_size: int = 32) -> np.ndarray:
+    """Shorthand for MXINT8 (INT8 elements, power-of-two block scales)."""
+    return fake_quantize_blockscale(
+        x, BlockScaleConfig(element_format=INT8, block_size=block_size, scale_format="pow2")
+    )
+
+
+def blockscale_storage_bits(config: BlockScaleConfig | None = None) -> float:
+    """Average storage bits per element, amortizing the 8-bit shared scale."""
+    config = config or BlockScaleConfig()
+    return config.element_format.bits + 8.0 / config.block_size

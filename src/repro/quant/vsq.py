@@ -1,0 +1,133 @@
+"""Per-vector scaled quantization (VS-Quant) and the paper's INT4+FP8-scale format.
+
+VS-Quant (Dai et al. 2021) assigns one scale factor to each short vector of
+elements (typically 16) along the reduction dimension, plus a second-level
+per-channel scale that keeps the per-vector scales themselves in a narrow
+integer or low-precision range.  INT4-VSQ is the 4-bit variant evaluated in
+Table I.
+
+The paper's own format ("our own INT4 format with FP8 scale factors",
+Sec. III-A) keeps INT4 elements but stores the per-vector scale factors in
+FP8 E4M3 to extend dynamic range, and uses UINT4 elements for ReLU
+activations (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fp8 import quantize_scales
+from .formats import INT4, UINT4, IntegerFormat
+from .uniform import QuantizedTensor, _pad_last_axis
+
+
+@dataclass(frozen=True)
+class VSQConfig:
+    """Configuration of a per-vector scaled quantization format.
+
+    Attributes
+    ----------
+    element_format:
+        Integer container for the elements (INT4 for INT4-VSQ, UINT4 for
+        ReLU activations in the paper's format).
+    vector_size:
+        Number of elements sharing one scale factor.
+    scale_format:
+        Storage format of the per-vector scale factors: ``"fp16"`` for
+        classic VS-Quant, ``"fp8_e4m3"`` for the paper's format.
+    two_level:
+        When true, per-vector scales are themselves quantized to UINT8
+        against a per-tensor second-level scale, as in the original
+        VS-Quant hardware implementation.
+    """
+
+    element_format: IntegerFormat = INT4
+    vector_size: int = 16
+    scale_format: str = "fp16"
+    two_level: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vector_size <= 0:
+            raise ValueError("vector_size must be positive")
+
+
+def _encode_two_level_scales(scales: np.ndarray, scale_format: str) -> np.ndarray:
+    """Encode per-vector scales relative to a shared per-tensor scale.
+
+    The VS-Quant hardware scheme stores per-vector scale factors as small
+    integer codes (UINT8 here) against a per-tensor second-level scale; the
+    limited relative precision of small codes is exactly the dynamic-range
+    problem the paper's FP8 scale factors solve.  When ``scale_format`` is an
+    FP8 variant the normalized scales are instead rounded onto the FP8 grid,
+    which keeps relative error roughly constant across four orders of
+    magnitude.
+    """
+    outer = np.maximum(np.max(scales), 1e-12)
+    normalized = scales / outer
+    if scale_format in ("fp8_e4m3", "fp16", "fp32"):
+        encoded = np.maximum(quantize_scales(normalized, scale_format), 1e-12)
+        return encoded * outer
+    # Integer (UINT8) second-level codes, classic VS-Quant.
+    codes = np.clip(np.round(normalized * 255.0), 1.0, 255.0)
+    return codes / 255.0 * outer
+
+
+def quantize_vsq(x: np.ndarray, config: VSQConfig | None = None) -> QuantizedTensor:
+    """Quantize ``x`` with per-vector scale factors along the last axis."""
+    config = config or VSQConfig()
+    fmt = config.element_format
+    x = np.asarray(x, dtype=np.float64)
+    if not fmt.signed:
+        x = np.maximum(x, 0.0)
+
+    original_length = x.shape[-1]
+    padded, n_blocks = _pad_last_axis(x, config.vector_size)
+    blocked = padded.reshape(*padded.shape[:-1], n_blocks, config.vector_size)
+
+    amax = np.maximum(np.max(np.abs(blocked), axis=-1, keepdims=True), 1e-12)
+    scales = amax / float(fmt.qmax)
+    if config.two_level:
+        scales = _encode_two_level_scales(scales, "uint8")
+    else:
+        scales = _encode_two_level_scales(scales, config.scale_format)
+
+    codes_blocked = np.clip(np.round(blocked / scales), fmt.qmin, fmt.qmax)
+    codes = codes_blocked.reshape(*padded.shape)[..., :original_length]
+    scales_full = np.broadcast_to(scales, blocked.shape).reshape(*padded.shape)[
+        ..., :original_length
+    ]
+    return QuantizedTensor(codes=codes, scales=np.array(scales_full), fmt=fmt, axis=None)
+
+
+def fake_quantize_vsq(x: np.ndarray, config: VSQConfig | None = None) -> np.ndarray:
+    """Quantize-then-dequantize with per-vector scaling (error injection)."""
+    qt = quantize_vsq(x, config)
+    return qt.dequantize().reshape(np.asarray(x).shape)
+
+
+def int4_vsq_config(vector_size: int = 16) -> VSQConfig:
+    """INT4-VSQ as evaluated in Table I: INT4 elements, FP16 vector scales."""
+    return VSQConfig(
+        element_format=INT4, vector_size=vector_size, scale_format="fp16", two_level=True
+    )
+
+
+def int4_fp8_config(vector_size: int = 16) -> VSQConfig:
+    """The paper's 4-bit weight format: INT4 elements, FP8 E4M3 vector scales."""
+    return VSQConfig(element_format=INT4, vector_size=vector_size, scale_format="fp8_e4m3")
+
+
+def uint4_fp8_config(vector_size: int = 16) -> VSQConfig:
+    """The paper's 4-bit ReLU-activation format: UINT4 elements, FP8 scales."""
+    return VSQConfig(element_format=UINT4, vector_size=vector_size, scale_format="fp8_e4m3")
+
+
+def vsq_storage_bits(config: VSQConfig | None = None) -> float:
+    """Average storage bits per element, amortizing the per-vector scale."""
+    config = config or VSQConfig()
+    scale_bits = {"fp32": 32.0, "fp16": 16.0, "fp8_e4m3": 8.0, "pow2": 8.0}[config.scale_format]
+    if config.two_level:
+        scale_bits = 8.0  # per-vector scales stored as UINT8 codes
+    return config.element_format.bits + scale_bits / config.vector_size

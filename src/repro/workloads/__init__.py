@@ -1,0 +1,19 @@
+"""Workload zoo for the four paper evaluation targets."""
+
+from .models import (
+    WORKLOAD_SPECS,
+    Workload,
+    WorkloadSpec,
+    build_unet,
+    load_workload,
+    workload_names,
+)
+
+__all__ = [
+    "WORKLOAD_SPECS",
+    "Workload",
+    "WorkloadSpec",
+    "build_unet",
+    "load_workload",
+    "workload_names",
+]

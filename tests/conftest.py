@@ -1,0 +1,71 @@
+"""Shared fixtures: tiny models, datasets and traces sized for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.workload import random_workload
+from repro.diffusion.datasets import load_dataset
+from repro.diffusion.edm import EDMDenoiser
+from repro.nn.unet import EDMUNet, UNetConfig
+from repro.workloads.models import load_workload
+
+
+@pytest.fixture()
+def tiny_unet_config() -> UNetConfig:
+    return UNetConfig(
+        img_resolution=8,
+        model_channels=8,
+        channel_mult=(1, 2),
+        num_blocks_per_res=1,
+        attn_resolutions=(4,),
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def tiny_unet(tiny_unet_config) -> EDMUNet:
+    return EDMUNet(tiny_unet_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return load_dataset("cifar10", resolution=8)
+
+
+@pytest.fixture()
+def tiny_denoiser(tiny_unet, tiny_dataset) -> EDMDenoiser:
+    return EDMDenoiser(tiny_unet, prior=tiny_dataset.prior)
+
+
+@pytest.fixture(scope="session")
+def cifar_workload():
+    """The calibrated CIFAR-10 workload at reduced (8x8) resolution."""
+    return load_workload("cifar10", resolution=8)
+
+
+@pytest.fixture()
+def synthetic_trace():
+    """A small synthetic accelerator workload trace: 3 steps x 2 layers."""
+    return [
+        [
+            random_workload(
+                in_channels=32,
+                out_channels=32,
+                spatial=8,
+                mean_sparsity=0.65,
+                weight_bits=4,
+                act_bits=4,
+                seed=10 * step + layer,
+                name=f"layer{layer}",
+            )
+            for layer in range(2)
+        ]
+        for step in range(3)
+    ]
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,102 @@
+"""Cross-module integration tests: the full SQ-DM co-design loop at tiny scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorSimulator, dense_baseline_config, sqdm_config
+from repro.accelerator.simulator import retime_trace_precision
+from repro.core.policy import mixed_precision_policy, table1_policy
+from repro.core.sparsity import collect_sparsity_trace, trace_to_workloads
+from repro.diffusion.edm import EDMDenoiser
+from repro.diffusion.fid import FIDEvaluator
+from repro.diffusion.finetune import adapt_to_relu, make_calibration_batch
+from repro.diffusion.sampler import SamplerConfig, sample
+from repro.diffusion.schedule import ScheduleConfig
+from repro.workloads.models import load_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_workload("cifar10", resolution=8)
+
+
+class TestEndToEndCodesign:
+    """Model -> ReLU adaptation -> quantization -> sampling -> trace -> accelerator."""
+
+    def test_full_flow(self, workload):
+        # 1. Adapt SiLU model to ReLU by calibration.
+        calibration = make_calibration_batch(workload.image_shape, batch_size=2,
+                                             sigma_data=workload.dataset.sigma_data())
+        relu_unet, report = adapt_to_relu(workload.unet, calibration)
+        assert report.adjusted_convs > 0
+
+        # 2. Apply the mixed-precision policy and generate images.
+        policy = mixed_precision_policy(relu_unet, relu=True)
+        policy.apply(relu_unet)
+        denoiser = EDMDenoiser(relu_unet, prior=workload.dataset.prior)
+        sampler_config = SamplerConfig(schedule=ScheduleConfig(num_steps=4))
+        result = sample(denoiser, 6, workload.image_shape, sampler_config)
+        assert np.all(np.isfinite(result.images))
+
+        # 3. Quality stays far better than uniform coarse INT4.
+        evaluator = FIDEvaluator()
+        evaluator.set_reference(workload.dataset.reference_samples(128))
+        ours_fid = evaluator.fid(result.images)
+
+        int4_unet = load_workload("cifar10", resolution=8).unet
+        table1_policy(int4_unet, "INT4").apply(int4_unet)
+        int4_denoiser = EDMDenoiser(int4_unet, prior=workload.dataset.prior)
+        int4_fid = evaluator.fid(sample(int4_denoiser, 6, workload.image_shape, sampler_config).images)
+        assert ours_fid < int4_fid
+
+        # 4. Trace the temporal sparsity and run the accelerator comparison.
+        trace = collect_sparsity_trace(denoiser, workload.image_shape, sampler_config,
+                                       num_samples=1, zero_tolerance_rel=1 / 30)
+        quant_trace = trace_to_workloads(trace, policy)
+        fp16_trace = retime_trace_precision(quant_trace, 16, 16)
+
+        sqdm_report = AcceleratorSimulator(sqdm_config()).run_trace(quant_trace)
+        dense_report = AcceleratorSimulator(dense_baseline_config()).run_trace(quant_trace)
+        fp16_report = AcceleratorSimulator(dense_baseline_config()).run_trace(fp16_trace)
+
+        sparsity_speedup = dense_report.total_cycles / sqdm_report.total_cycles
+        total_speedup = fp16_report.total_cycles / sqdm_report.total_cycles
+        energy_saving = 1 - sqdm_report.total_energy.total_pj / dense_report.total_energy.total_pj
+
+        assert sparsity_speedup > 1.2
+        assert total_speedup > 4.0
+        assert energy_saving > 0.25
+
+    def test_quantization_error_accumulates_over_time_steps(self, workload):
+        """The paper's first observation: error compounds across time steps."""
+        unet = load_workload("cifar10", resolution=8).unet
+        table1_policy(unet, "INT4-VSQ").apply(unet)
+        denoiser = EDMDenoiser(unet, prior=workload.dataset.prior)
+        evaluator = FIDEvaluator()
+        evaluator.set_reference(workload.dataset.reference_samples(128))
+
+        clean_unet = load_workload("cifar10", resolution=8).unet
+        clean = EDMDenoiser(clean_unet, prior=workload.dataset.prior)
+
+        # Track the deviation between the quantized and unquantized sampling
+        # trajectories after every time step of the same fixed schedule.
+        cfg = SamplerConfig(schedule=ScheduleConfig(num_steps=6), seed=3)
+        quant_states: list[np.ndarray] = []
+        clean_states: list[np.ndarray] = []
+        sample(denoiser, 4, workload.image_shape, cfg,
+               step_callback=lambda i, s, x: quant_states.append(x.copy()))
+        sample(clean, 4, workload.image_shape, cfg,
+               step_callback=lambda i, s, x: clean_states.append(x.copy()))
+        deviations = [float(np.mean((q - c) ** 2)) for q, c in zip(quant_states, clean_states)]
+        # The deviation after the last step exceeds the deviation after the
+        # first step: quantization error compounds across model evaluations.
+        assert deviations[-1] > deviations[0]
+
+    def test_conditional_imagenet_workload_runs(self):
+        workload = load_workload("imagenet", resolution=8)
+        denoiser = EDMDenoiser(workload.unet, prior=workload.dataset.prior)
+        cfg = SamplerConfig(schedule=ScheduleConfig(num_steps=2))
+        result = sample(denoiser, 2, workload.image_shape, cfg)
+        assert result.images.shape == (2, 3, 8, 8)

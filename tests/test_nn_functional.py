@@ -1,0 +1,180 @@
+"""Tests for repro.nn.functional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+class TestActivations:
+    def test_silu_at_zero(self):
+        assert F.silu(np.array([0.0]))[0] == 0.0
+
+    def test_silu_minimum_matches_paper(self):
+        # The paper quotes the SiLU output range as [-0.278, inf).
+        assert F.SILU_MIN == pytest.approx(-0.278, abs=1e-3)
+
+    def test_silu_large_positive_is_identity(self):
+        assert F.silu(np.array([50.0]))[0] == pytest.approx(50.0)
+
+    def test_silu_never_below_minimum(self, rng):
+        x = rng.normal(size=1000) * 10
+        assert np.all(F.silu(x) >= F.SILU_MIN - 1e-9)
+
+    def test_relu_clamps_negative(self):
+        assert np.array_equal(F.relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0]))
+
+    def test_relu_output_nonnegative(self, rng):
+        assert np.all(F.relu(rng.normal(size=100)) >= 0)
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        assert F.sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert F.sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_activation_fn_lookup(self):
+        assert F.activation_fn("relu") is F.relu
+        assert F.activation_fn("silu") is F.silu
+
+    def test_activation_fn_unknown(self):
+        with pytest.raises(ValueError):
+            F.activation_fn("gelu")
+
+    def test_relu_induces_about_half_sparsity_on_gaussian(self, rng):
+        x = rng.normal(size=100000)
+        sparsity = np.mean(F.relu(x) == 0)
+        assert 0.45 < sparsity < 0.55
+
+
+class TestConv2d:
+    def test_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        weight = np.zeros((1, 1, 3, 3))
+        weight[0, 0, 1, 1] = 1.0
+        out = F.conv2d(x, weight, padding=1)
+        assert np.allclose(out, x)
+
+    def test_output_shape_same_padding(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        weight = rng.normal(size=(5, 3, 3, 3))
+        assert F.conv2d(x, weight, padding=1).shape == (2, 5, 8, 8)
+
+    def test_output_shape_stride2(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        assert F.conv2d(x, weight, stride=2, padding=1).shape == (1, 4, 4, 4)
+
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        weight = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(x, weight, padding=0)
+        # Direct dot product at output position (0, 0).
+        expected = np.sum(x[0, :, 0:3, 0:3] * weight[1])
+        assert out[0, 1, 0, 0] == pytest.approx(expected)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        weight = np.zeros((2, 2, 1, 1))
+        bias = np.array([1.5, -2.0])
+        out = F.conv2d(x, weight, bias=bias, padding=0)
+        assert np.allclose(out[0, 0], 1.5)
+        assert np.allclose(out[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(rng.normal(size=(1, 3, 4, 4)), rng.normal(size=(2, 4, 3, 3)))
+
+    def test_conv_linear_in_input(self, rng):
+        x1 = rng.normal(size=(1, 2, 6, 6))
+        x2 = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        lhs = F.conv2d(x1 + x2, w, padding=1)
+        rhs = F.conv2d(x1, w, padding=1) + F.conv2d(x2, w, padding=1)
+        assert np.allclose(lhs, rhs)
+
+    def test_empty_output_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(rng.normal(size=(1, 1, 2, 2)), rng.normal(size=(1, 1, 5, 5)), padding=0)
+
+
+class TestLinearAndNorm:
+    def test_linear_matches_matmul(self, rng):
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(3, 6))
+        b = rng.normal(size=3)
+        assert np.allclose(F.linear(x, w, b), x @ w.T + b)
+
+    def test_group_norm_zero_mean_unit_var(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(2, 8, 4, 4))
+        out = F.group_norm(x, num_groups=2)
+        grouped = out.reshape(2, 2, 4, 4, 4)
+        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-6)
+        assert np.allclose(grouped.var(axis=(2, 3, 4)), 1.0, atol=1e-2)
+
+    def test_group_norm_gamma_beta(self, rng):
+        x = rng.normal(size=(1, 4, 4, 4))
+        gamma = np.array([2.0, 2.0, 2.0, 2.0])
+        beta = np.array([1.0, 1.0, 1.0, 1.0])
+        out = F.group_norm(x, num_groups=4, gamma=gamma, beta=beta)
+        base = F.group_norm(x, num_groups=4)
+        assert np.allclose(out, base * 2.0 + 1.0)
+
+    def test_group_norm_invalid_groups(self, rng):
+        with pytest.raises(ValueError):
+            F.group_norm(rng.normal(size=(1, 6, 2, 2)), num_groups=4)
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.normal(size=(3, 7))
+        assert np.allclose(F.softmax(x, axis=-1).sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_values(self):
+        out = F.softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(out, 0.5)
+
+
+class TestAttentionAndResampling:
+    def test_attention_output_shape(self, rng):
+        q = rng.normal(size=(2, 1, 16, 8))
+        out = F.scaled_dot_product_attention(q, q, q)
+        assert out.shape == q.shape
+
+    def test_attention_uniform_keys_average_values(self, rng):
+        q = np.zeros((1, 1, 4, 8))
+        k = np.zeros((1, 1, 4, 8))
+        v = rng.normal(size=(1, 1, 4, 8))
+        out = F.scaled_dot_product_attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=2, keepdims=True))
+
+    def test_downsample_halves_spatial(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        assert F.downsample2x(x).shape == (1, 3, 4, 4)
+
+    def test_downsample_averages(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.downsample2x(x)
+        assert out[0, 0, 0, 0] == pytest.approx(np.mean([0, 1, 4, 5]))
+
+    def test_downsample_odd_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.downsample2x(rng.normal(size=(1, 1, 5, 5)))
+
+    def test_upsample_doubles_spatial(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        assert F.upsample2x(x).shape == (1, 3, 8, 8)
+
+    def test_up_then_down_is_identity(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert np.allclose(F.downsample2x(F.upsample2x(x)), x)
+
+    def test_positional_embedding_shape(self):
+        emb = F.positional_embedding(np.array([0.1, 0.5]), dim=16)
+        assert emb.shape == (2, 16)
+
+    def test_positional_embedding_odd_dim_padded(self):
+        emb = F.positional_embedding(np.array([0.3]), dim=9)
+        assert emb.shape == (1, 9)
+
+    def test_positional_embedding_distinguishes_values(self):
+        emb = F.positional_embedding(np.array([0.0, 5.0]), dim=32)
+        assert not np.allclose(emb[0], emb[1])

@@ -1,0 +1,156 @@
+"""Tests for the layer module system (repro.nn.layers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Activation,
+    Conv2d,
+    Downsample,
+    GroupNorm,
+    Linear,
+    SelfAttention2d,
+    Sequential,
+    Upsample,
+)
+from repro.quant import int4_spec, int8_spec, mxint8_spec
+
+
+class TestModuleSystem:
+    def test_named_modules_includes_children(self):
+        seq = Sequential([Conv2d(3, 4, name="c1"), Activation("relu", name="a1")], name="seq")
+        names = [name for name, _ in seq.named_modules()]
+        assert "seq" in names and "seq.c1" in names and "seq.a1" in names
+
+    def test_parameters_collects_weights(self):
+        conv = Conv2d(3, 4, name="conv")
+        params = conv.parameters()
+        assert any(key.endswith(".weight") for key in params)
+        assert any(key.endswith(".bias") for key in params)
+
+    def test_parameter_count(self):
+        conv = Conv2d(2, 3, kernel_size=3, name="c")
+        assert conv.parameter_count() == 3 * 2 * 9 + 3
+
+    def test_recording_toggles_for_children(self, rng):
+        seq = Sequential([Conv2d(2, 2, name="c"), Activation("relu", name="a")], name="s")
+        seq.set_recording(True)
+        seq(rng.normal(size=(1, 2, 4, 4)))
+        assert all(m.last_output is not None for _, m in seq.named_modules())
+        seq.set_recording(False)
+        assert all(m.last_output is None for _, m in seq.named_modules())
+
+    def test_base_forward_not_implemented(self):
+        from repro.nn.layers import Module
+
+        with pytest.raises(NotImplementedError):
+            Module()(np.zeros(1))
+
+
+class TestConvLinearQuant:
+    def test_conv_output_shape(self, rng):
+        conv = Conv2d(3, 8, kernel_size=3)
+        assert conv(rng.normal(size=(2, 3, 8, 8))).shape == (2, 8, 8, 8)
+
+    def test_conv_1x1_no_padding(self, rng):
+        conv = Conv2d(4, 2, kernel_size=1, padding=0)
+        assert conv(rng.normal(size=(1, 4, 6, 6))).shape == (1, 2, 6, 6)
+
+    def test_conv_macs(self):
+        conv = Conv2d(4, 8, kernel_size=3)
+        assert conv.macs((16, 16)) == 8 * 4 * 9 * 256
+
+    def test_weight_quantization_changes_output(self, rng):
+        conv = Conv2d(4, 4, rng=rng)
+        x = rng.normal(size=(1, 4, 8, 8))
+        reference = conv(x)
+        conv.weight_spec = int4_spec()
+        quantized = conv(x)
+        assert not np.allclose(reference, quantized)
+        assert np.linalg.norm(reference - quantized) / np.linalg.norm(reference) < 0.5
+
+    def test_act_quantization_changes_output(self, rng):
+        conv = Conv2d(4, 4, rng=rng)
+        x = rng.normal(size=(1, 4, 8, 8))
+        reference = conv(x)
+        conv.act_spec = int8_spec()
+        assert not np.allclose(reference, conv(x))
+
+    def test_mxint8_quantization_small_error(self, rng):
+        conv = Conv2d(8, 8, rng=rng)
+        x = rng.normal(size=(1, 8, 8, 8))
+        reference = conv(x)
+        conv.weight_spec = mxint8_spec()
+        conv.act_spec = mxint8_spec()
+        out = conv(x)
+        assert np.linalg.norm(out - reference) / np.linalg.norm(reference) < 0.05
+
+    def test_linear_shape_and_macs(self, rng):
+        lin = Linear(6, 3)
+        assert lin(rng.normal(size=(5, 6))).shape == (5, 3)
+        assert lin.macs(5) == 5 * 6 * 3
+
+    def test_linear_quantization(self, rng):
+        lin = Linear(16, 16, rng=rng)
+        x = rng.normal(size=(2, 16))
+        reference = lin(x)
+        lin.weight_spec = int4_spec()
+        lin.act_spec = int4_spec()
+        assert not np.allclose(reference, lin(x))
+
+
+class TestOtherLayers:
+    def test_group_norm_layer_adjusts_groups(self):
+        norm = GroupNorm(num_channels=6, num_groups=4)
+        assert 6 % norm.num_groups == 0
+
+    def test_group_norm_forward(self, rng):
+        norm = GroupNorm(8)
+        out = norm(rng.normal(size=(1, 8, 4, 4)))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_activation_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Activation("swishx")
+
+    def test_activation_relu_sparsifies(self, rng):
+        act = Activation("relu")
+        out = act(rng.normal(size=(1, 4, 8, 8)))
+        assert np.mean(out == 0) > 0.3
+
+    def test_activation_silu_no_exact_zeros(self, rng):
+        act = Activation("silu")
+        out = act(rng.normal(size=(1, 4, 8, 8)))
+        assert np.mean(out == 0) < 0.01
+
+    def test_down_up_sample_layers(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        assert Downsample()(x).shape == (1, 2, 4, 4)
+        assert Upsample()(x).shape == (1, 2, 16, 16)
+
+    def test_attention_preserves_shape(self, rng):
+        attn = SelfAttention2d(8, rng=rng)
+        x = rng.normal(size=(1, 8, 4, 4))
+        assert attn(x).shape == x.shape
+
+    def test_attention_is_residual(self, rng):
+        attn = SelfAttention2d(8, rng=rng)
+        attn.proj.weight = np.zeros_like(attn.proj.weight)
+        attn.proj.bias = np.zeros_like(attn.proj.bias)
+        x = rng.normal(size=(1, 8, 4, 4))
+        assert np.allclose(attn(x), x)
+
+    def test_attention_invalid_heads(self):
+        with pytest.raises(ValueError):
+            SelfAttention2d(6, num_heads=4)
+
+    def test_attention_macs_positive(self, rng):
+        attn = SelfAttention2d(8, rng=rng)
+        assert attn.macs((4, 4)) > 0
+
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential([Activation("relu"), Activation("relu")])
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert np.allclose(seq(x), np.maximum(x, 0))

@@ -1,0 +1,94 @@
+"""Tests for quantization error and sparsity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.metrics import (
+    cosine_similarity,
+    max_abs_error,
+    mse,
+    per_channel_sparsity,
+    rmse,
+    sparsity,
+    sqnr_db,
+)
+
+
+class TestErrorMetrics:
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.normal(size=(8, 8))
+        assert mse(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        assert mse(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == pytest.approx(2.5)
+
+    def test_mse_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_rmse_is_sqrt_of_mse(self, rng):
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        assert rmse(x, y) == pytest.approx(np.sqrt(mse(x, y)))
+
+    def test_sqnr_infinite_for_exact(self, rng):
+        x = rng.normal(size=16)
+        assert sqnr_db(x, x) == float("inf")
+
+    def test_sqnr_decreases_with_noise(self, rng):
+        x = rng.normal(size=1024)
+        low_noise = x + rng.normal(scale=0.01, size=1024)
+        high_noise = x + rng.normal(scale=0.1, size=1024)
+        assert sqnr_db(x, low_noise) > sqnr_db(x, high_noise)
+
+    def test_sqnr_negative_inf_for_zero_signal(self):
+        assert sqnr_db(np.zeros(4), np.ones(4)) == float("-inf")
+
+    def test_cosine_similarity_identity(self, rng):
+        x = rng.normal(size=64)
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+
+    def test_cosine_similarity_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_cosine_similarity_zero_vectors(self):
+        assert cosine_similarity(np.zeros(4), np.zeros(4)) == 1.0
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 5.0]), np.array([1.5, 4.0])) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert mse(np.array([]), np.array([])) == 0.0
+        assert max_abs_error(np.array([]), np.array([])) == 0.0
+
+
+class TestSparsityMetrics:
+    def test_sparsity_of_zero_tensor(self):
+        assert sparsity(np.zeros((4, 4))) == 1.0
+
+    def test_sparsity_of_dense_tensor(self, rng):
+        assert sparsity(rng.normal(size=(4, 4)) + 10) == 0.0
+
+    def test_sparsity_with_tolerance(self):
+        x = np.array([0.0, 0.001, 0.5, -0.002])
+        assert sparsity(x, tol=0.01) == pytest.approx(0.75)
+
+    def test_sparsity_empty(self):
+        assert sparsity(np.array([])) == 0.0
+
+    def test_per_channel_sparsity_shape(self, rng):
+        x = rng.normal(size=(3, 8, 8))
+        result = per_channel_sparsity(x, channel_axis=0)
+        assert result.shape == (3,)
+
+    def test_per_channel_sparsity_values(self):
+        x = np.stack([np.zeros((4, 4)), np.ones((4, 4))])
+        result = per_channel_sparsity(x, channel_axis=0)
+        assert result[0] == 1.0 and result[1] == 0.0
+
+    def test_per_channel_sparsity_axis_1(self):
+        x = np.zeros((2, 3, 4, 4))
+        x[:, 1] = 1.0
+        result = per_channel_sparsity(x, channel_axis=1)
+        assert np.allclose(result, [1.0, 0.0, 1.0])

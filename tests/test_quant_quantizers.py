@@ -1,0 +1,252 @@
+"""Tests for uniform, block-scaled and per-vector quantization and the dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    INT4,
+    INT8,
+    UINT4,
+    BlockScaleConfig,
+    ScaleGranularity,
+    VSQConfig,
+    apply_format,
+    fake_quantize,
+    fake_quantize_blockscale,
+    fake_quantize_vsq,
+    fp16_spec,
+    fp32_spec,
+    int4_fp8_config,
+    int4_fp8_spec,
+    int4_spec,
+    int4_vsq_config,
+    int4_vsq_spec,
+    int8_spec,
+    mxint8_fake_quantize,
+    mxint8_spec,
+    quantize,
+    quantize_blockscale,
+    quantize_vsq,
+    uint4_fp8_config,
+    used_levels,
+    vsq_storage_bits,
+)
+from repro.quant.dispatch import apply_activation_format, apply_weight_format
+
+
+class TestUniformQuantization:
+    def test_codes_within_range(self, rng):
+        x = rng.normal(size=(16, 16)) * 10
+        qt = quantize(x, INT4)
+        assert qt.codes.min() >= INT4.qmin
+        assert qt.codes.max() <= INT4.qmax
+
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        x = rng.normal(size=(64,))
+        qt = quantize(x, INT8, granularity=ScaleGranularity.PER_TENSOR)
+        err = np.abs(qt.dequantize() - x)
+        step = float(np.max(np.abs(x))) / INT8.qmax
+        assert np.max(err) <= step / 2 + 1e-12
+
+    def test_zero_tensor_quantizes_to_zeros(self):
+        qt = quantize(np.zeros((4, 4)), INT8)
+        assert np.all(qt.codes == 0)
+        assert np.all(qt.dequantize() == 0)
+
+    def test_unsigned_format_clips_negative(self, rng):
+        x = rng.normal(size=(32,))
+        qt = quantize(x, UINT4)
+        assert qt.codes.min() >= 0
+        assert np.all(qt.dequantize() >= 0)
+
+    def test_per_channel_scales_independent(self):
+        x = np.stack([np.full(8, 0.01), np.full(8, 100.0)])
+        out = fake_quantize(x, INT4, granularity=ScaleGranularity.PER_CHANNEL, axis=0)
+        # Per-channel scaling preserves the small channel's values.
+        assert np.allclose(out[0], x[0], rtol=0.1)
+
+    def test_per_tensor_crushes_small_values_next_to_outliers(self):
+        x = np.concatenate([np.full(8, 0.01), [100.0]])
+        out = fake_quantize(x, INT4, granularity=ScaleGranularity.PER_TENSOR)
+        # The small values underflow to zero when an outlier sets the scale.
+        assert np.allclose(out[:8], 0.0)
+
+    def test_int8_more_accurate_than_int4(self, rng):
+        x = rng.normal(size=(256,))
+        err4 = np.mean((fake_quantize(x, INT4) - x) ** 2)
+        err8 = np.mean((fake_quantize(x, INT8) - x) ** 2)
+        assert err8 < err4
+
+    def test_fake_quantize_preserves_shape(self, rng):
+        x = rng.normal(size=(2, 3, 5, 7))
+        assert fake_quantize(x, INT4).shape == x.shape
+
+    def test_per_vector_padding_handles_non_multiple_lengths(self, rng):
+        x = rng.normal(size=(3, 21))
+        out = fake_quantize(x, INT4, granularity=ScaleGranularity.PER_VECTOR, block_size=16)
+        assert out.shape == x.shape
+
+    def test_used_levels_silu_underutilizes_int4(self):
+        from repro.nn.functional import silu
+
+        x = np.linspace(-1, 1, 10001)
+        assert used_levels(silu(x), INT4) < INT4.num_levels
+
+    def test_used_levels_relu_uses_all_uint4(self):
+        from repro.nn.functional import relu
+
+        x = np.linspace(-1, 1, 10001)
+        assert used_levels(relu(x), UINT4) == UINT4.num_levels
+
+    def test_density_of_quantized_tensor(self):
+        qt = quantize(np.array([0.0, 0.0, 1.0, -1.0]), INT4)
+        assert qt.density() == pytest.approx(0.5)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(8), INT4, granularity=ScaleGranularity.PER_VECTOR, block_size=0)
+
+
+class TestBlockScale:
+    def test_mxint8_low_error_on_gaussian(self, rng):
+        x = rng.normal(size=(8, 64))
+        out = mxint8_fake_quantize(x)
+        rel = np.linalg.norm(out - x) / np.linalg.norm(x)
+        assert rel < 0.02
+
+    def test_blockscale_handles_outliers_better_than_per_tensor(self, rng):
+        x = rng.normal(size=(4, 128))
+        x[0, 0] = 1000.0  # a single outlier
+        block_out = fake_quantize_blockscale(x, BlockScaleConfig(element_format=INT4, block_size=16))
+        tensor_out = fake_quantize(x, INT4, granularity=ScaleGranularity.PER_TENSOR)
+        # Away from the outlier's block, block scaling preserves the signal that
+        # a shared per-tensor scale crushes to zero.
+        block_err = np.mean((block_out[1:] - x[1:]) ** 2)
+        tensor_err = np.mean((tensor_out[1:] - x[1:]) ** 2)
+        assert block_err < tensor_err
+        assert np.allclose(tensor_out[1:], 0.0)
+
+    def test_scales_are_powers_of_two(self, rng):
+        x = rng.normal(size=(2, 64))
+        qt = quantize_blockscale(x)
+        positive = qt.scales[qt.scales > 0]
+        assert np.allclose(np.log2(positive), np.round(np.log2(positive)))
+
+    def test_codes_within_int8_range(self, rng):
+        x = rng.normal(size=(2, 64)) * 50
+        qt = quantize_blockscale(x)
+        assert qt.codes.min() >= INT8.qmin and qt.codes.max() <= INT8.qmax
+
+    def test_shape_preserved_with_padding(self, rng):
+        x = rng.normal(size=(3, 37))
+        assert fake_quantize_blockscale(x).shape == x.shape
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            BlockScaleConfig(block_size=0)
+
+
+class TestVSQ:
+    def test_vsq_beats_per_tensor_int4(self, rng):
+        x = rng.standard_t(df=3, size=(8, 64)) * 2
+        vsq_err = np.mean((fake_quantize_vsq(x, int4_vsq_config()) - x) ** 2)
+        coarse_err = np.mean((fake_quantize(x, INT4, granularity=ScaleGranularity.PER_TENSOR) - x) ** 2)
+        assert vsq_err < coarse_err
+
+    def test_fp8_scales_beat_uint8_scales_on_wide_dynamic_range(self, rng):
+        # Vectors whose magnitudes span several orders of magnitude: the
+        # paper's motivation for FP8 scale factors.
+        blocks = [rng.normal(size=16) * (10.0 ** k) for k in range(-4, 1)]
+        x = np.concatenate(blocks)
+        err_fp8 = np.mean((fake_quantize_vsq(x, int4_fp8_config()) - x) ** 2)
+        err_vsq = np.mean((fake_quantize_vsq(x, int4_vsq_config()) - x) ** 2)
+        assert err_fp8 < err_vsq
+
+    def test_uint4_config_clips_negatives(self, rng):
+        x = rng.normal(size=(64,))
+        out = fake_quantize_vsq(x, uint4_fp8_config())
+        assert np.all(out >= 0)
+
+    def test_codes_within_range(self, rng):
+        x = rng.normal(size=(4, 48))
+        qt = quantize_vsq(x, int4_vsq_config())
+        assert qt.codes.min() >= INT4.qmin and qt.codes.max() <= INT4.qmax
+
+    def test_storage_bits(self):
+        assert vsq_storage_bits(int4_fp8_config(vector_size=16)) == pytest.approx(4.5)
+        assert vsq_storage_bits(int4_vsq_config(vector_size=16)) == pytest.approx(4.5)
+
+    def test_invalid_vector_size(self):
+        with pytest.raises(ValueError):
+            VSQConfig(vector_size=0)
+
+    def test_shape_preserved_with_padding(self, rng):
+        x = rng.normal(size=(5, 23))
+        assert fake_quantize_vsq(x, int4_fp8_config()).shape == x.shape
+
+
+class TestDispatch:
+    def test_fp32_identity(self, rng):
+        x = rng.normal(size=(4, 8))
+        assert np.array_equal(apply_format(x, fp32_spec()), x)
+
+    def test_fp16_small_error(self, rng):
+        x = rng.normal(size=(4, 8))
+        out = apply_format(x, fp16_spec())
+        assert np.allclose(out, x, rtol=1e-3)
+        assert not np.array_equal(out, x)
+
+    def test_each_table1_format_dispatches(self, rng):
+        x = rng.normal(size=(4, 64))
+        for spec in (int8_spec(), mxint8_spec(), int4_spec(), int4_vsq_spec(), int4_fp8_spec()):
+            out = apply_format(x, spec)
+            assert out.shape == x.shape
+
+    def test_finer_formats_have_lower_error_on_outlier_activations(self, rng):
+        # Activation tensor with outlier channels, the regime the paper's
+        # Table I exercises: coarse formats share one scale across the whole
+        # tensor and crush the small channels.
+        x = np.abs(rng.normal(size=(1, 64, 4, 4)))
+        x[0, ::16] *= 50.0
+        err = {
+            name: float(np.mean((apply_activation_format(x, spec, channel_axis=1) - x) ** 2))
+            for name, spec in (
+                ("INT8", int8_spec()),
+                ("MXINT8", mxint8_spec()),
+                ("INT4", int4_spec()),
+                ("INT4-VSQ", int4_vsq_spec()),
+            )
+        }
+        assert err["MXINT8"] < err["INT8"]
+        assert err["INT4-VSQ"] < err["INT4"]
+        assert err["MXINT8"] < err["INT4-VSQ"]
+
+    def test_weight_format_per_output_channel(self):
+        weight = np.zeros((2, 4, 3, 3))
+        weight[0] = 0.01
+        weight[1] = 10.0
+        out = apply_weight_format(weight, int4_spec(), out_channel_axis=0)
+        # Per-output-channel scales keep the small filter's values.
+        assert np.allclose(out[0], weight[0], rtol=0.1)
+
+    def test_activation_coarse_format_is_per_tensor(self):
+        x = np.zeros((1, 2, 2, 2))
+        x[0, 0] = 0.01
+        x[0, 1] = 10.0
+        out = apply_activation_format(x, int4_spec(), channel_axis=1)
+        # Per-tensor scaling crushes the small channel (the Table I failure mode).
+        assert np.allclose(out[0, 0], 0.0)
+
+    def test_activation_fine_format_preserves_small_channels(self, rng):
+        x = np.zeros((1, 32, 2, 2))
+        x[0, :16] = 0.01
+        x[0, 16:] = 10.0
+        out = apply_activation_format(x, int4_fp8_spec(vector_size=16), channel_axis=1)
+        assert np.max(np.abs(out[0, :16] - 0.01)) < 0.005
+
+    def test_weight_fine_format_shape(self, rng):
+        weight = rng.normal(size=(8, 7, 3, 3))
+        out = apply_weight_format(weight, int4_fp8_spec(), out_channel_axis=0)
+        assert out.shape == weight.shape
