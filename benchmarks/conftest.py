@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.experiments import SweepSpec, run_sweep
 from repro.core.pipeline import PipelineConfig, SQDMPipeline
 from repro.core.sparsity import TemporalSparsityTrace
 from repro.workloads.models import workload_names
@@ -56,6 +57,21 @@ class BenchmarkContext:
                 trace=self.trace(workload)
             )
         return self._hardware[workload]
+
+    def hardware_evaluations(self) -> list[object]:
+        """Hardware evaluations for every workload, fanned out in parallel.
+
+        Distinct workloads use disjoint pipelines/traces, so the per-workload
+        evaluations run concurrently through the declarative sweep runner and
+        land in the same per-workload cache :meth:`hardware` uses.
+        """
+        missing = [w for w in self.workloads() if w not in self._hardware]
+        if missing:
+            run_sweep(
+                lambda workload: self.hardware(workload),
+                SweepSpec(name="fig12-hardware", grid={"workload": missing}),
+            )
+        return [self.hardware(w) for w in self.workloads()]
 
     def workloads(self) -> list[str]:
         return workload_names()

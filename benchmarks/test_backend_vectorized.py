@@ -1,0 +1,75 @@
+"""Vectorized-backend acceptance: equivalence and speed on the Fig. 12 trace.
+
+The vectorized engine must reproduce the reference backend's report on the
+real evaluation trace (the quantized CIFAR-10 trace behind Fig. 12) within
+1e-9 relative tolerance, while executing ``run_trace`` at least an order of
+magnitude faster.  Timings use the minimum over several runs, which is
+robust against scheduler noise on shared machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import run_once
+
+from repro.accelerator import AcceleratorSimulator, sqdm_config
+from repro.analysis.tables import format_table
+from repro.core.policy import mixed_precision_policy
+from repro.core.sparsity import trace_to_workloads
+
+RTOL = 1e-9
+
+
+def _min_runtime(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_backend_matches_and_outruns_reference(benchmark, ctx):
+    pipeline = ctx.pipeline("cifar10")
+    policy = mixed_precision_policy(pipeline.relu_unet(), relu=True)
+    quant_trace = trace_to_workloads(ctx.trace("cifar10"), policy)
+
+    reference = AcceleratorSimulator(sqdm_config(), backend="reference")
+    vectorized = AcceleratorSimulator(sqdm_config(), backend="vectorized")
+
+    ref_report = reference.run_trace(quant_trace)
+    vec_report = run_once(benchmark, lambda: vectorized.run_trace(quant_trace))
+
+    # --- equivalence: 1e-9 relative on every reported quantity -------------
+    assert vec_report.total_cycles == pytest.approx(ref_report.total_cycles, rel=RTOL)
+    assert vec_report.total_macs == pytest.approx(ref_report.total_macs, rel=RTOL)
+    assert vec_report.executed_macs == pytest.approx(ref_report.executed_macs, rel=RTOL)
+    assert vec_report.average_load_imbalance() == pytest.approx(
+        ref_report.average_load_imbalance(), rel=1e-8
+    )
+    for component, expected in ref_report.total_energy.as_dict().items():
+        assert vec_report.total_energy.as_dict()[component] == pytest.approx(
+            expected, rel=RTOL, abs=1e-9
+        ), component
+
+    # --- speed: >= 10x faster on the same trace ----------------------------
+    ref_time = _min_runtime(lambda: reference.run_trace(quant_trace), repeats=5)
+    vec_time = _min_runtime(lambda: vectorized.run_trace(quant_trace), repeats=25)
+    speedup = ref_time / vec_time
+
+    print()
+    print(
+        format_table(
+            ["Backend", "run_trace (ms)", "Speed-up"],
+            [
+                ["reference", f"{ref_time * 1e3:.2f}", "1.0x"],
+                ["vectorized", f"{vec_time * 1e3:.2f}", f"{speedup:.1f}x"],
+            ],
+            title="Vectorized engine on the Fig. 12 (CIFAR-10, quantized) trace",
+        )
+    )
+
+    assert speedup >= 10.0, f"vectorized backend only {speedup:.1f}x faster than reference"

@@ -19,8 +19,7 @@ from repro.diffusion.datasets import DATASET_LABELS
 
 def test_fig12_system_evaluation(benchmark, ctx):
     def experiment():
-        evaluations = [ctx.hardware(workload) for workload in ctx.workloads()]
-        return summarize_hardware(evaluations)
+        return summarize_hardware(ctx.hardware_evaluations())
 
     system = run_once(benchmark, experiment)
 

@@ -6,6 +6,11 @@ dense-vs-heterogeneous organizations and the effect of workload sparsity.
 This is the workflow a hardware architect would use to scale the design "to
 meet specific latency and power requirements" (Sec. IV-D).
 
+Design-point evaluations are independent, so the sparsity and PE-scaling
+studies fan out through the declarative sweep runner
+(:func:`repro.core.experiments.run_sweep`); traces execute on the default
+vectorized simulation backend.
+
 Usage::
 
     python examples/accelerator_codesign.py
@@ -23,6 +28,7 @@ from repro.accelerator import (
     sqdm_config,
 )
 from repro.analysis.tables import format_percentage, format_speedup, format_table
+from repro.core.experiments import SweepSpec, run_sweep
 
 
 def build_trace(mean_sparsity: float, steps: int = 6, layers: int = 8):
@@ -64,24 +70,37 @@ def main() -> None:
     print(format_table(["Configuration", "Latency (ms)", "Speed-up vs FP16 dense", "Energy saving vs INT4 dense"], rows))
 
     print("\n== Sensitivity to workload sparsity ==")
-    rows = []
-    for sparsity in (0.3, 0.5, 0.65, 0.8):
-        t = build_trace(mean_sparsity=sparsity, steps=3)
+
+    def sparsity_point(mean_sparsity: float) -> list[str]:
+        t = build_trace(mean_sparsity=mean_sparsity, steps=3)
         dense = AcceleratorSimulator(dense_baseline_config()).run_trace(t)
         hetero = AcceleratorSimulator(sqdm_config()).run_trace(t)
-        rows.append(
-            [format_percentage(sparsity), format_speedup(dense.total_cycles / hetero.total_cycles),
-             format_percentage(1 - hetero.total_energy.total_pj / dense.total_energy.total_pj)]
-        )
-    print(format_table(["Avg activation sparsity", "Speed-up vs dense", "Energy saving"], rows))
+        return [
+            format_percentage(mean_sparsity),
+            format_speedup(dense.total_cycles / hetero.total_cycles),
+            format_percentage(1 - hetero.total_energy.total_pj / dense.total_energy.total_pj),
+        ]
+
+    sweep = run_sweep(
+        sparsity_point,
+        SweepSpec(name="sparsity-sensitivity", grid={"mean_sparsity": [0.3, 0.5, 0.65, 0.8]}),
+    )
+    print(format_table(["Avg activation sparsity", "Speed-up vs dense", "Energy saving"], sweep.values()))
 
     print("\n== Scaling the PE array ==")
-    rows = []
-    for multipliers in (64, 128, 256, 512):
-        config = AcceleratorConfig(name=f"sqdm-{multipliers}", num_dpe=1, num_spe=1, pe=PEConfig(multipliers=multipliers))
+
+    def scaling_point(multipliers: int) -> list:
+        config = AcceleratorConfig(
+            name=f"sqdm-{multipliers}", num_dpe=1, num_spe=1, pe=PEConfig(multipliers=multipliers)
+        )
         report = AcceleratorSimulator(config).run_trace(trace)
-        rows.append([multipliers, report.total_time_ms, f"{report.total_energy.total_uj:.1f}"])
-    print(format_table(["Multipliers per PE", "Latency (ms)", "Energy (uJ)"], rows))
+        return [multipliers, report.total_time_ms, f"{report.total_energy.total_uj:.1f}"]
+
+    sweep = run_sweep(
+        scaling_point,
+        SweepSpec(name="pe-scaling", grid={"multipliers": [64, 128, 256, 512]}),
+    )
+    print(format_table(["Multipliers per PE", "Latency (ms)", "Energy (uJ)"], sweep.values()))
     print("\n(The architecture 'is scalable to meet specific latency and power requirements' — Sec. IV-D.)")
 
 

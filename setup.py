@@ -1,4 +1,10 @@
-"""Setup shim so `pip install -e .` works on environments without the wheel package."""
+"""Setup shim so `pip install -e .` works on environments without the wheel package.
+
+All metadata lives in setup.cfg (kept out of pyproject.toml deliberately: a
+pyproject.toml with a [build-system] table forces pip onto the PEP 517 path,
+which requires the `wheel` package that minimal environments lack, whereas
+the setup.py/setup.cfg legacy path installs everywhere).
+"""
 from setuptools import setup
 
 setup()

@@ -1,0 +1,63 @@
+"""Pluggable simulation engines for the SQ-DM accelerator model.
+
+The simulator facade (:class:`repro.accelerator.AcceleratorSimulator`)
+delegates trace execution to one of the backends registered here:
+
+``reference``
+    The stateful per-layer controller loop — semantic ground truth, exposes
+    per-PE results and traffic counters.
+``vectorized``
+    Whole-trace batched NumPy evaluation — equivalent reports (to
+    floating-point round-off), an order of magnitude faster; the default.
+
+Select a backend by name (``AcceleratorSimulator(cfg, backend="reference")``)
+or set the ``REPRO_SIM_BACKEND`` environment variable to change the process
+default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..config import AcceleratorConfig
+from ..energy import EnergyTable
+from .base import DetectorStats, SimulationBackend
+from .reference import ReferenceBackend
+from .vectorized import VectorizedBackend
+
+_BACKENDS = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+#: Backend used when no explicit choice is made.
+DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", VectorizedBackend.name)
+
+
+def available_backends() -> list[str]:
+    """Names of the registered simulation backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(
+    name: str, config: AcceleratorConfig, energy_table: EnergyTable | None = None
+) -> SimulationBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        backend_cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; available: {available_backends()}"
+        ) from None
+    return backend_cls(config, energy_table)
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DetectorStats",
+    "ReferenceBackend",
+    "SimulationBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "get_backend",
+]

@@ -1,0 +1,57 @@
+"""Simulation-backend protocol shared by the reference and vectorized engines.
+
+A backend turns a :data:`~repro.accelerator.simulator.WorkloadTrace` into a
+:class:`~repro.accelerator.simulator.SimulationReport`.  Two implementations
+ship with the package:
+
+* :class:`~repro.accelerator.backends.reference.ReferenceBackend` drives the
+  stateful controller / PE / NoC / memory objects layer by layer — the
+  original, easily-inspectable model;
+* :class:`~repro.accelerator.backends.vectorized.VectorizedBackend` flattens
+  the whole trace into NumPy arrays and evaluates every (time step, layer,
+  PE) cell with batched array operations, producing equivalent reports at a
+  fraction of the cost.
+
+Both expose the same interface so :class:`AcceleratorSimulator` (and any
+sweep tooling) can switch between them via ``backend="reference"`` /
+``backend="vectorized"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..simulator import SimulationReport, WorkloadTrace
+
+
+@dataclass
+class DetectorStats:
+    """Temporal-sparsity-detector activity observed during the last run."""
+
+    updates_performed: int = 0
+    channels_evaluated: int = 0
+
+    def reset(self) -> None:
+        self.updates_performed = 0
+        self.channels_evaluated = 0
+
+
+@runtime_checkable
+class SimulationBackend(Protocol):
+    """Protocol every simulation engine implements."""
+
+    #: Registry name of the backend ("reference", "vectorized", ...).
+    name: str
+
+    #: Detector activity of the most recent :meth:`run_trace` call.
+    detector_stats: DetectorStats
+
+    def run_trace(self, trace: "WorkloadTrace") -> "SimulationReport":
+        """Execute a full multi-time-step workload trace."""
+        ...
+
+    def reset(self) -> None:
+        """Clear any cross-run state (detector classifications, counters)."""
+        ...

@@ -10,19 +10,56 @@ the comparisons the paper's Fig. 12 reports:
   saving from temporal sparsity), and
 * quantized vs FP16 execution (speed-up from 4-bit quantization), which
   compound into the headline 6.91x total speed-up.
+
+:class:`AcceleratorSimulator` is a thin facade over pluggable simulation
+engines (:mod:`repro.accelerator.backends`): the stateful per-layer
+``reference`` backend and the batched-NumPy ``vectorized`` backend, which
+produces equivalent reports roughly an order of magnitude faster and is the
+default for trace execution.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .config import AcceleratorConfig, dense_baseline_config, sqdm_config
 from .controller import AcceleratorController, LayerExecutionResult
 from .energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
 from .workload import ConvLayerWorkload
 
+if TYPE_CHECKING:  # pragma: no cover - the backends package imports us lazily
+    from .backends import SimulationBackend
+
 #: A workload trace: one list of layer workloads per diffusion time step.
 WorkloadTrace = list[list[ConvLayerWorkload]]
+
+
+def safe_speedup(baseline_cycles: float, candidate_cycles: float) -> float:
+    """``baseline / candidate`` with degenerate denominators made well-defined.
+
+    Two zero-cycle runs (e.g. empty or zero-MAC traces) are *identical*, not
+    infinitely fast, so ``0 / 0`` is defined as ``1.0``.  A zero-cycle
+    candidate against real baseline work is genuinely unbounded and reported
+    as ``inf`` — deterministically, rather than as a platform-dependent
+    division artifact.
+    """
+    if candidate_cycles == 0.0:
+        return 1.0 if baseline_cycles == 0.0 else math.inf
+    return baseline_cycles / candidate_cycles
+
+
+def relative_saving(baseline: float, candidate: float) -> float:
+    """``1 - candidate / baseline`` with a zero baseline made well-defined.
+
+    When both quantities are zero there is nothing to save: ``0.0``.  A
+    nonzero candidate against a zero baseline is an unbounded regression and
+    reported as ``-inf``.
+    """
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else -math.inf
+    return 1.0 - candidate / baseline
 
 
 @dataclass
@@ -83,47 +120,103 @@ class SimulationReport:
 
 
 class AcceleratorSimulator:
-    """Simulates a workload trace on a given accelerator configuration."""
+    """Simulates a workload trace on a given accelerator configuration.
 
-    def __init__(self, config: AcceleratorConfig, energy_table: EnergyTable | None = None):
+    Parameters
+    ----------
+    config / energy_table:
+        Hardware configuration and 28 nm energy constants.
+    backend:
+        Simulation engine used by :meth:`run_trace` — a registered backend
+        name (``"vectorized"``, the default, or ``"reference"``) or an
+        already-constructed :class:`SimulationBackend` instance.  The
+        unit-level entry points :meth:`run_layer` / :meth:`run_step` always
+        execute on the stateful reference controller, which remains exposed
+        as :attr:`controller` for per-PE and traffic introspection.
+
+    Both the controller and the backend are constructed lazily: sweeps that
+    only call :meth:`run_trace` on the vectorized backend never pay for the
+    controller's PE/NoC object graph, and vice versa.
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        energy_table: EnergyTable | None = None,
+        backend: "str | SimulationBackend | None" = None,
+    ):
+        from .backends import DEFAULT_BACKEND, available_backends
+
         self.config = config
         self.energy_table = energy_table or DEFAULT_ENERGY_TABLE
-        self.controller = AcceleratorController(config, self.energy_table)
+        self._backend_spec = backend if backend is not None else DEFAULT_BACKEND
+        if isinstance(self._backend_spec, str) and self._backend_spec not in available_backends():
+            raise ValueError(
+                f"unknown simulation backend {self._backend_spec!r}; "
+                f"available: {available_backends()}"
+            )
+        self._backend: "SimulationBackend | None" = (
+            None if isinstance(self._backend_spec, str) else self._backend_spec
+        )
+        self._controller: AcceleratorController | None = None
+        self._reference_engine = None
+
+    @property
+    def controller(self) -> AcceleratorController:
+        """The stateful reference controller (created on first use).
+
+        Only :meth:`run_layer` / :meth:`run_step` (and ``run_trace`` on the
+        ``reference`` backend) drive this object; after a ``run_trace`` on
+        the vectorized backend its detector/traffic counters stay at their
+        initial values — read :attr:`detector_stats` for backend-agnostic
+        detector activity instead.
+        """
+        if self._controller is None:
+            self._controller = AcceleratorController(self.config, self.energy_table)
+        return self._controller
+
+    def _reference(self):
+        """A reference engine over the shared controller, for unit-level runs."""
+        if self._reference_engine is None:
+            from .backends import ReferenceBackend
+
+            self._reference_engine = ReferenceBackend(
+                self.config, self.energy_table, controller=self.controller
+            )
+        return self._reference_engine
+
+    @property
+    def backend(self) -> "SimulationBackend":
+        """The active simulation engine (created on first use)."""
+        if self._backend is None:
+            from .backends import ReferenceBackend, get_backend
+
+            if self._backend_spec == ReferenceBackend.name:
+                self._backend = self._reference()
+            else:
+                self._backend = get_backend(self._backend_spec, self.config, self.energy_table)
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def detector_stats(self):
+        """Detector activity of the most recent :meth:`run_trace` call."""
+        return self.backend.detector_stats
 
     def run_layer(self, workload: ConvLayerWorkload, time_step: int = 0) -> LayerExecutionResult:
         """Execute a single layer workload (unit-level entry point)."""
         return self.controller.execute_layer(workload, time_step)
 
     def run_step(self, workloads: list[ConvLayerWorkload], time_step: int = 0) -> StepResult:
-        """Execute all layers of one time step back to back."""
-        cycles = 0.0
-        energy = EnergyBreakdown()
-        layer_results = []
-        for workload in workloads:
-            result = self.controller.execute_layer(workload, time_step)
-            cycles += result.cycles
-            energy = energy + result.energy
-            layer_results.append(result)
-        return StepResult(time_step=time_step, cycles=cycles, energy=energy, layer_results=layer_results)
+        """Execute all layers of one time step back to back (reference engine)."""
+        return self._reference().run_step(workloads, time_step)
 
     def run_trace(self, trace: WorkloadTrace) -> SimulationReport:
-        """Execute a full multi-time-step workload trace."""
-        self.controller.reset()
-        step_results = []
-        total_cycles = 0.0
-        total_energy = EnergyBreakdown()
-        for time_step, workloads in enumerate(trace):
-            step = self.run_step(workloads, time_step)
-            step_results.append(step)
-            total_cycles += step.cycles
-            total_energy = total_energy + step.energy
-        return SimulationReport(
-            config_name=self.config.name,
-            total_cycles=total_cycles,
-            total_energy=total_energy,
-            step_results=step_results,
-            clock_ghz=self.config.clock_ghz,
-        )
+        """Execute a full multi-time-step workload trace on the active backend."""
+        return self.backend.run_trace(trace)
 
 
 @dataclass
@@ -135,16 +228,13 @@ class ComparisonResult:
 
     @property
     def speedup(self) -> float:
-        if self.candidate.total_cycles == 0:
-            return float("inf")
-        return self.baseline.total_cycles / self.candidate.total_cycles
+        return safe_speedup(self.baseline.total_cycles, self.candidate.total_cycles)
 
     @property
     def energy_saving(self) -> float:
-        baseline_energy = self.baseline.total_energy.total_pj
-        if baseline_energy == 0:
-            return 0.0
-        return 1.0 - self.candidate.total_energy.total_pj / baseline_energy
+        return relative_saving(
+            self.baseline.total_energy.total_pj, self.candidate.total_energy.total_pj
+        )
 
 
 def compare_to_dense_baseline(
@@ -152,6 +242,7 @@ def compare_to_dense_baseline(
     sqdm: AcceleratorConfig | None = None,
     baseline: AcceleratorConfig | None = None,
     energy_table: EnergyTable | None = None,
+    backend: str | None = None,
 ) -> ComparisonResult:
     """Run a trace on both the SQ-DM accelerator and the dense 2-DPE baseline.
 
@@ -161,30 +252,14 @@ def compare_to_dense_baseline(
     """
     sqdm = sqdm or sqdm_config()
     baseline = baseline or dense_baseline_config()
-    candidate_report = AcceleratorSimulator(sqdm, energy_table).run_trace(trace)
-    baseline_report = AcceleratorSimulator(baseline, energy_table).run_trace(trace)
+    candidate_report = AcceleratorSimulator(sqdm, energy_table, backend=backend).run_trace(trace)
+    baseline_report = AcceleratorSimulator(baseline, energy_table, backend=backend).run_trace(trace)
     return ComparisonResult(baseline=baseline_report, candidate=candidate_report)
 
 
 def retime_trace_precision(trace: WorkloadTrace, weight_bits: int, act_bits: int) -> WorkloadTrace:
     """Copy a trace with every layer's precision replaced (for FP16-vs-4-bit studies)."""
-    new_trace: WorkloadTrace = []
-    for workloads in trace:
-        step = []
-        for w in workloads:
-            step.append(
-                ConvLayerWorkload(
-                    name=w.name,
-                    in_channels=w.in_channels,
-                    out_channels=w.out_channels,
-                    kernel_size=w.kernel_size,
-                    out_height=w.out_height,
-                    out_width=w.out_width,
-                    weight_bits=weight_bits,
-                    act_bits=act_bits,
-                    channel_sparsity=w.channel_sparsity.copy(),
-                    block_type=w.block_type,
-                )
-            )
-        new_trace.append(step)
-    return new_trace
+    return [
+        [w.replace(weight_bits=weight_bits, act_bits=act_bits) for w in workloads]
+        for workloads in trace
+    ]

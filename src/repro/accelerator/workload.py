@@ -10,6 +10,7 @@ constructed synthetically for unit tests and ablations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -56,6 +57,16 @@ class ConvLayerWorkload:
             )
         if np.any((self.channel_sparsity < 0) | (self.channel_sparsity > 1)):
             raise ValueError("channel sparsities must lie in [0, 1]")
+
+    def replace(self, **overrides) -> "ConvLayerWorkload":
+        """Copy of this workload with selected fields overridden.
+
+        The per-channel sparsity array is copied (not aliased) unless an
+        explicit ``channel_sparsity`` override is supplied, so the copy can be
+        mutated or re-validated independently of the original.
+        """
+        overrides.setdefault("channel_sparsity", self.channel_sparsity.copy())
+        return dataclasses.replace(self, **overrides)
 
     # -- derived quantities ---------------------------------------------------
 

@@ -1,6 +1,7 @@
 """SQ-DM core: the paper's contribution (mixed-precision + temporal sparsity co-design)."""
 
 from .costs import CostSummary, LayerCost, cost_summary, high_precision_cost_fraction, layer_cost_table
+from .experiments import SweepCaseResult, SweepResult, SweepSpec, run_sweep, sweep_table
 from .pipeline import (
     HardwareEvaluation,
     PipelineConfig,
@@ -15,6 +16,15 @@ from .policy import (
     single_block_4bit_policy,
     table1_policy,
     uniform_policy,
+)
+from .report_cache import (
+    DEFAULT_REPORT_CACHE,
+    CacheStats,
+    ReportCache,
+    fingerprint_config,
+    fingerprint_energy_table,
+    fingerprint_trace,
+    simulate_cached,
 )
 from .scheduler import (
     ThresholdAnalysisPoint,
@@ -34,6 +44,8 @@ from .sparsity import (
 )
 
 __all__ = [
+    "DEFAULT_REPORT_CACHE",
+    "CacheStats",
     "CostSummary",
     "HardwareEvaluation",
     "LayerAssignment",
@@ -41,7 +53,11 @@ __all__ = [
     "PipelineConfig",
     "QuantizationEvaluation",
     "QuantizationPolicy",
+    "ReportCache",
     "SQDMPipeline",
+    "SweepCaseResult",
+    "SweepResult",
+    "SweepSpec",
     "TemporalSparsityTrace",
     "ThresholdAnalysisPoint",
     "TracedLayer",
@@ -52,12 +68,18 @@ __all__ = [
     "collect_sparsity_trace",
     "cost_summary",
     "detection_overhead_fraction",
+    "fingerprint_config",
+    "fingerprint_energy_table",
+    "fingerprint_trace",
     "high_precision_cost_fraction",
     "layer_cost_table",
     "mixed_precision_policy",
+    "run_sweep",
     "sensitive_block_names",
+    "simulate_cached",
     "single_block_4bit_policy",
     "sparsity_map",
+    "sweep_table",
     "table1_policy",
     "trace_to_workloads",
     "traced_layers_for_model",

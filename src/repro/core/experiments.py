@@ -1,0 +1,177 @@
+"""Declarative experiment sweeps with parallel fan-out.
+
+Every sweep in this codebase — block sensitivity (Fig. 3), threshold /
+update-period analysis (Fig. 11), per-workload hardware evaluation
+(Fig. 12), PE-scaling studies — has the same shape: a Cartesian grid of
+parameter values, one evaluation function, one result per grid point.  This
+module gives that shape a first-class API:
+
+    spec = SweepSpec(name="pe-scaling", grid={"multipliers": [64, 128, 256]})
+    result = run_sweep(lambda multipliers: simulate(multipliers), spec)
+    result.values()  # in grid order, regardless of executor
+
+Execution fans out over :mod:`concurrent.futures` (``"thread"`` by default —
+the NumPy-heavy evaluation functions release the GIL for their array work —
+or ``"process"`` / ``"serial"``).  Results always come back in deterministic
+grid order; failures either propagate (``on_error="raise"``) or are captured
+per-case (``on_error="capture"``) so one bad design point cannot sink a
+thousand-point sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+EXECUTORS = ("thread", "process", "serial")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named Cartesian parameter grid.
+
+    ``grid`` maps parameter names to the values they sweep over; the sweep
+    enumerates the full cross product in row-major order (last parameter
+    varies fastest), matching nested-loop reading order.
+    """
+
+    name: str
+    grid: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("sweep grid must name at least one parameter")
+        for param, values in self.grid.items():
+            if len(values) == 0:
+                raise ValueError(f"sweep parameter {param!r} has no values")
+
+    @property
+    def num_cases(self) -> int:
+        size = 1
+        for values in self.grid.values():
+            size *= len(values)
+        return size
+
+    def cases(self) -> list[dict[str, Any]]:
+        """All parameter assignments of the grid, in deterministic order."""
+        names = list(self.grid)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.grid[name] for name in names))
+        ]
+
+
+@dataclass
+class SweepCaseResult:
+    """Outcome of one grid point."""
+
+    index: int
+    params: dict[str, Any]
+    value: Any = None
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All grid-point outcomes of one sweep, in grid order."""
+
+    spec: SweepSpec
+    cases: list[SweepCaseResult] = field(default_factory=list)
+
+    def values(self) -> list[Any]:
+        """The per-case values, raising if any case failed."""
+        for case in self.cases:
+            if not case.ok:
+                raise RuntimeError(
+                    f"sweep {self.spec.name!r} case {case.params} failed"
+                ) from case.error
+        return [case.value for case in self.cases]
+
+    def failures(self) -> list[SweepCaseResult]:
+        return [case for case in self.cases if not case.ok]
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    spec: SweepSpec | Mapping[str, Sequence[Any]],
+    *,
+    executor: str = "thread",
+    max_workers: int | None = None,
+    on_error: str = "raise",
+) -> SweepResult:
+    """Evaluate ``fn(**params)`` over every grid point of ``spec``.
+
+    Parameters
+    ----------
+    fn:
+        Evaluation function taking the grid's parameters as keyword
+        arguments.  With ``executor="process"`` it must be picklable
+        (a module-level function).
+    spec:
+        A :class:`SweepSpec`, or a bare ``{param: values}`` mapping which is
+        wrapped into an anonymous spec.
+    executor:
+        ``"thread"`` (default), ``"process"`` or ``"serial"``.
+    max_workers:
+        Worker count for the parallel executors (library default if None).
+    on_error:
+        ``"raise"`` propagates the first failure; ``"capture"`` records the
+        exception on the affected :class:`SweepCaseResult` and continues.
+    """
+    if not isinstance(spec, SweepSpec):
+        spec = SweepSpec(name="sweep", grid=dict(spec))
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
+
+    cases = [SweepCaseResult(index=i, params=params) for i, params in enumerate(spec.cases())]
+
+    def evaluate(case: SweepCaseResult) -> SweepCaseResult:
+        try:
+            case.value = fn(**case.params)
+        except Exception as exc:  # noqa: BLE001 - captured or re-raised below
+            if on_error == "raise":
+                raise
+            case.error = exc
+        return case
+
+    if executor == "serial" or len(cases) <= 1:
+        for case in cases:
+            evaluate(case)
+    else:
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=max_workers) as pool:
+            if executor == "process":
+                # Processes cannot mutate our local case objects; map the raw
+                # params and graft values/errors back in order.
+                futures = [pool.submit(fn, **case.params) for case in cases]
+                for case, future in zip(cases, futures):
+                    try:
+                        case.value = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        if on_error == "raise":
+                            raise
+                        case.error = exc
+            else:
+                # map() preserves submission order, so results land in grid order.
+                cases = list(pool.map(evaluate, cases))
+
+    return SweepResult(spec=spec, cases=cases)
+
+
+def sweep_table(result: SweepResult, value_label: str = "value") -> tuple[list[str], list[list[Any]]]:
+    """(header, rows) view of a sweep, ready for :func:`repro.analysis.tables.format_table`."""
+    header = list(result.spec.grid) + [value_label]
+    rows = [
+        [case.params[name] for name in result.spec.grid]
+        + [case.value if case.ok else f"error: {case.error}"]
+        for case in result.cases
+    ]
+    return header, rows

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
-from ..accelerator.simulator import AcceleratorSimulator, SimulationReport
+from ..accelerator.simulator import SimulationReport, relative_saving, safe_speedup
 from ..diffusion.fid import FIDEvaluator
 from ..diffusion.finetune import adapt_to_relu, make_calibration_batch
 from ..diffusion.sampler import SamplerConfig, sample
@@ -34,6 +34,7 @@ from ..nn.unet import EDMUNet
 from ..workloads.models import Workload, load_workload
 from .costs import CostSummary, cost_summary
 from .policy import QuantizationPolicy, mixed_precision_policy, table1_policy
+from .report_cache import simulate_cached
 from .sparsity import TemporalSparsityTrace, collect_sparsity_trace, trace_to_workloads
 
 
@@ -86,24 +87,28 @@ class HardwareEvaluation:
     @property
     def sparsity_speedup(self) -> float:
         """Speed-up of DPE+SPE over the 2-DPE dense baseline at equal precision."""
-        return self.dense_baseline_report.total_cycles / self.sqdm_report.total_cycles
+        return safe_speedup(
+            self.dense_baseline_report.total_cycles, self.sqdm_report.total_cycles
+        )
 
     @property
     def sparsity_energy_saving(self) -> float:
-        baseline = self.dense_baseline_report.total_energy.total_pj
-        if baseline == 0:
-            return 0.0
-        return 1.0 - self.sqdm_report.total_energy.total_pj / baseline
+        return relative_saving(
+            self.dense_baseline_report.total_energy.total_pj,
+            self.sqdm_report.total_energy.total_pj,
+        )
 
     @property
     def quantization_speedup(self) -> float:
         """Speed-up of the quantized dense baseline over the FP16 dense baseline."""
-        return self.fp16_dense_report.total_cycles / self.dense_baseline_report.total_cycles
+        return safe_speedup(
+            self.fp16_dense_report.total_cycles, self.dense_baseline_report.total_cycles
+        )
 
     @property
     def total_speedup(self) -> float:
         """Total speed-up of SQ-DM over an FP16 dense accelerator (Fig. 12, bottom)."""
-        return self.fp16_dense_report.total_cycles / self.sqdm_report.total_cycles
+        return safe_speedup(self.fp16_dense_report.total_cycles, self.sqdm_report.total_cycles)
 
 
 class SQDMPipeline:
@@ -222,6 +227,11 @@ class SQDMPipeline:
         MP+ReLU policy) is executed on the SQ-DM accelerator and on the
         dense 2-DPE baseline; the same layer geometry at FP16 on the dense
         baseline provides the total-speed-up reference.
+
+        Simulations go through the process-wide report cache, so sweeps that
+        vary only one configuration (e.g. threshold or update-period studies)
+        re-use the shared FP16 / dense-baseline runs instead of re-simulating
+        them.
         """
         model = self._model_for(relu=True)
         policy = mixed_precision_policy(model, relu=True)
@@ -233,9 +243,9 @@ class SQDMPipeline:
 
         sqdm = sqdm or sqdm_config()
         baseline = baseline or dense_baseline_config()
-        sqdm_report = AcceleratorSimulator(sqdm).run_trace(quant_trace)
-        dense_report = AcceleratorSimulator(baseline).run_trace(quant_trace)
-        fp16_report = AcceleratorSimulator(baseline).run_trace(fp16_trace)
+        sqdm_report = simulate_cached(sqdm, quant_trace)
+        dense_report = simulate_cached(baseline, quant_trace)
+        fp16_report = simulate_cached(baseline, fp16_trace)
         return HardwareEvaluation(
             workload=self.workload.name,
             sqdm_report=sqdm_report,

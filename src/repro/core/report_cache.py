@@ -1,0 +1,183 @@
+"""Simulation-report cache keyed by (config, energy table, trace) fingerprints.
+
+Parameter sweeps — Tables I/II, Fig. 3, Fig. 11, threshold/update-period
+studies — repeatedly simulate the *same* FP16 or dense-baseline trace while
+varying an orthogonal knob.  This module fingerprints every ingredient that
+determines a :class:`~repro.accelerator.simulator.SimulationReport` (the
+frozen hardware config, the energy table constants, and the full workload
+trace including per-channel sparsity arrays) and memoizes reports in an LRU
+cache, so shared baselines are simulated once per process.
+
+Reports returned from the cache are shared objects: treat them as read-only,
+as all existing analysis code already does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accelerator.config import AcceleratorConfig
+from ..accelerator.energy import DEFAULT_ENERGY_TABLE, EnergyTable
+from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
+
+
+def fingerprint_config(config: AcceleratorConfig) -> str:
+    """Stable digest of every field of an accelerator configuration."""
+    payload = repr(
+        (
+            config.name,
+            config.num_dpe,
+            config.num_spe,
+            config.pe,
+            config.clock_ghz,
+            config.technology_nm,
+            config.global_buffer_kib,
+            config.dram_bandwidth_gbps,
+            config.noc_bandwidth_bytes_per_cycle,
+            config.sparsity_threshold,
+            config.sparsity_update_period,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def fingerprint_energy_table(table: EnergyTable) -> str:
+    """Stable digest of the per-operation energy constants."""
+    payload = repr(
+        (
+            sorted(table.mac_pj.items()),
+            table.local_buffer_pj_per_byte,
+            table.global_buffer_pj_per_byte,
+            table.dram_pj_per_byte,
+            table.noc_pj_per_byte_hop,
+            table.detector_pj_per_channel,
+            table.idle_pj_per_cycle_per_pe,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def fingerprint_trace(trace: WorkloadTrace) -> str:
+    """Stable digest of a workload trace, including per-channel sparsity data."""
+    digest = hashlib.sha256()
+    for workloads in trace:
+        digest.update(b"step")
+        for w in workloads:
+            digest.update(
+                repr(
+                    (
+                        w.name,
+                        w.in_channels,
+                        w.out_channels,
+                        w.kernel_size,
+                        w.out_height,
+                        w.out_width,
+                        w.weight_bits,
+                        w.act_bits,
+                        w.block_type,
+                    )
+                ).encode()
+            )
+            digest.update(np.ascontiguousarray(w.channel_sparsity, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one report cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ReportCache:
+    """LRU cache of simulation reports keyed by input fingerprints."""
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[str, str, str, str], SimulationReport] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    @staticmethod
+    def key(
+        config: AcceleratorConfig,
+        trace: WorkloadTrace,
+        energy_table: EnergyTable | None = None,
+        backend: str | None = None,
+    ) -> tuple[str, str, str, str]:
+        from ..accelerator.backends import DEFAULT_BACKEND
+
+        return (
+            fingerprint_config(config),
+            fingerprint_energy_table(energy_table or DEFAULT_ENERGY_TABLE),
+            fingerprint_trace(trace),
+            backend or DEFAULT_BACKEND,
+        )
+
+    def get_or_run(
+        self,
+        config: AcceleratorConfig,
+        trace: WorkloadTrace,
+        energy_table: EnergyTable | None = None,
+        backend: str | None = None,
+    ) -> SimulationReport:
+        """Return the cached report for these inputs, simulating on a miss.
+
+        Thread-safe: concurrent sweep workers may look up and insert reports
+        simultaneously.  The simulation itself runs outside the lock, so two
+        threads missing on the same key race benignly (one result wins).
+        """
+        key = self.key(config, trace, energy_table, backend)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+        report = AcceleratorSimulator(config, energy_table, backend=backend).run_trace(trace)
+        with self._lock:
+            self._entries.setdefault(key, report)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return self._entries[key]
+
+
+#: Process-wide cache used by the pipeline and sweep helpers.
+DEFAULT_REPORT_CACHE = ReportCache()
+
+
+def simulate_cached(
+    config: AcceleratorConfig,
+    trace: WorkloadTrace,
+    energy_table: EnergyTable | None = None,
+    backend: str | None = None,
+    cache: ReportCache | None = None,
+) -> SimulationReport:
+    """Run a trace through the (default) report cache."""
+    cache = cache or DEFAULT_REPORT_CACHE
+    return cache.get_or_run(config, trace, energy_table, backend)

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
 from ..accelerator.detector import classify_channels
-from ..accelerator.simulator import AcceleratorSimulator, WorkloadTrace
+from ..accelerator.simulator import AcceleratorSimulator, WorkloadTrace, safe_speedup
 
 
 @dataclass
@@ -86,9 +86,7 @@ def analyze_threshold(
                 sparse_group_sparsity=float(np.mean(sparse_sparsities)) if sparse_sparsities else 0.0,
                 dense_group_sparsity=float(np.mean(dense_sparsities)) if dense_sparsities else 0.0,
                 load_imbalance=report.average_load_imbalance(),
-                speedup=baseline_report.total_cycles / report.total_cycles
-                if report.total_cycles
-                else float("inf"),
+                speedup=safe_speedup(baseline_report.total_cycles, report.total_cycles),
             )
         )
     return points
@@ -125,10 +123,8 @@ def analyze_update_period(
         points.append(
             UpdatePeriodPoint(
                 update_period=int(period),
-                speedup=baseline_report.total_cycles / report.total_cycles
-                if report.total_cycles
-                else float("inf"),
-                updates_performed=simulator.controller.detector.updates_performed,
+                speedup=safe_speedup(baseline_report.total_cycles, report.total_cycles),
+                updates_performed=simulator.detector_stats.updates_performed,
             )
         )
     return points

@@ -186,32 +186,37 @@ def trace_to_workloads(
 
     Each traced conv layer becomes one :class:`ConvLayerWorkload` per time
     step, with the weight/activation precision taken from ``policy`` (or
-    ``default_bits`` when no policy is given).
+    ``default_bits`` when no policy is given).  The per-layer geometry and
+    precision are resolved once into a template workload which is then
+    re-stamped with each step's sparsity via
+    :meth:`ConvLayerWorkload.replace`.
     """
-    workload_trace: list[list[ConvLayerWorkload]] = []
-    for step in trace.steps:
-        step_workloads = []
-        for layer in trace.layers:
-            if policy is not None:
-                weight_bits, act_bits = policy.bits_for_layer(layer.name)
-            else:
-                weight_bits = act_bits = default_bits
-            step_workloads.append(
-                ConvLayerWorkload(
-                    name=layer.name,
-                    in_channels=layer.in_channels,
-                    out_channels=layer.out_channels,
-                    kernel_size=layer.kernel_size,
-                    out_height=layer.height,
-                    out_width=layer.width,
-                    weight_bits=weight_bits,
-                    act_bits=act_bits,
-                    channel_sparsity=step[layer.name],
-                    block_type=BLOCK_CONV,
-                )
+    templates: list[ConvLayerWorkload] = []
+    for layer in trace.layers:
+        if policy is not None:
+            weight_bits, act_bits = policy.bits_for_layer(layer.name)
+        else:
+            weight_bits = act_bits = default_bits
+        templates.append(
+            ConvLayerWorkload(
+                name=layer.name,
+                in_channels=layer.in_channels,
+                out_channels=layer.out_channels,
+                kernel_size=layer.kernel_size,
+                out_height=layer.height,
+                out_width=layer.width,
+                weight_bits=weight_bits,
+                act_bits=act_bits,
+                block_type=BLOCK_CONV,
             )
-        workload_trace.append(step_workloads)
-    return workload_trace
+        )
+    return [
+        [
+            template.replace(channel_sparsity=np.asarray(step[template.name], dtype=np.float64))
+            for template in templates
+        ]
+        for step in trace.steps
+    ]
 
 
 def sparsity_map(trace: TemporalSparsityTrace, layer_name: str, threshold: float = 0.5) -> np.ndarray:

@@ -1,0 +1,240 @@
+"""Simulation-backend tests: vectorized-vs-reference equivalence and the facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    AcceleratorSimulator,
+    ComparisonResult,
+    ConvLayerWorkload,
+    ReferenceBackend,
+    SimulationBackend,
+    VectorizedBackend,
+    available_backends,
+    dense_baseline_config,
+    get_backend,
+    random_workload,
+    relative_saving,
+    safe_speedup,
+    sqdm_config,
+)
+
+RTOL = 1e-9
+
+
+def random_trace(rng: np.random.Generator, steps: int, layers: int) -> list[list[ConvLayerWorkload]]:
+    """A randomized trace: per-layer geometry fixed across steps (as in real
+    traces — stale detector classifications index the layer's channels),
+    per-step sparsity and per-layer precision randomized."""
+    templates = [
+        random_workload(
+            in_channels=int(rng.integers(1, 96)),
+            out_channels=int(rng.integers(1, 64)),
+            spatial=int(rng.integers(1, 24)),
+            kernel_size=int(rng.choice([1, 3, 5])),
+            weight_bits=int(rng.choice([4, 8, 16])),
+            act_bits=int(rng.choice([4, 8, 16])),
+            seed=int(rng.integers(0, 2**31)),
+            name=f"layer{layer}",
+        )
+        for layer in range(layers)
+    ]
+    return [
+        [
+            template.replace(
+                channel_sparsity=rng.beta(
+                    a=rng.uniform(0.5, 5.0), b=rng.uniform(0.5, 5.0), size=template.in_channels
+                )
+            )
+            for template in templates
+        ]
+        for _ in range(steps)
+    ]
+
+
+def assert_reports_equivalent(ref, vec, rtol=RTOL):
+    """Reference and vectorized reports agree on every reported quantity."""
+    assert ref.config_name == vec.config_name
+    assert ref.clock_ghz == vec.clock_ghz
+    assert vec.total_cycles == pytest.approx(ref.total_cycles, rel=rtol)
+    assert vec.total_macs == pytest.approx(ref.total_macs, rel=rtol)
+    assert vec.executed_macs == pytest.approx(ref.executed_macs, rel=rtol)
+    assert vec.average_load_imbalance() == pytest.approx(
+        ref.average_load_imbalance(), rel=1e-8, abs=1e-12
+    )
+    for component, expected in ref.total_energy.as_dict().items():
+        assert vec.total_energy.as_dict()[component] == pytest.approx(
+            expected, rel=rtol, abs=1e-9
+        ), component
+    assert len(ref.step_results) == len(vec.step_results)
+    for ref_step, vec_step in zip(ref.step_results, vec.step_results):
+        assert vec_step.cycles == pytest.approx(ref_step.cycles, rel=rtol)
+        assert len(ref_step.layer_results) == len(vec_step.layer_results)
+        for ref_layer, vec_layer in zip(ref_step.layer_results, vec_step.layer_results):
+            assert ref_layer.layer_name == vec_layer.layer_name
+            assert vec_layer.cycles == pytest.approx(ref_layer.cycles, rel=rtol)
+            assert vec_layer.dense_channels == ref_layer.dense_channels
+            assert vec_layer.sparse_channels == ref_layer.sparse_channels
+            assert vec_layer.executed_macs == pytest.approx(ref_layer.executed_macs, rel=rtol)
+            assert vec_layer.dense_cycles == pytest.approx(ref_layer.dense_cycles, rel=rtol)
+            assert vec_layer.sparse_cycles == pytest.approx(ref_layer.sparse_cycles, rel=rtol)
+
+
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert available_backends() == ["reference", "vectorized"]
+
+    def test_get_backend_instances(self):
+        config = sqdm_config()
+        assert isinstance(get_backend("reference", config), ReferenceBackend)
+        assert isinstance(get_backend("vectorized", config), VectorizedBackend)
+
+    def test_backends_satisfy_protocol(self):
+        config = sqdm_config()
+        assert isinstance(ReferenceBackend(config), SimulationBackend)
+        assert isinstance(VectorizedBackend(config), SimulationBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            get_backend("cycle_accurate", sqdm_config())
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            AcceleratorSimulator(sqdm_config(), backend="cycle_accurate")
+
+    def test_facade_exposes_backend_name(self):
+        assert AcceleratorSimulator(sqdm_config(), backend="reference").backend_name == "reference"
+        assert AcceleratorSimulator(sqdm_config(), backend="vectorized").backend_name == "vectorized"
+
+
+class TestVectorizedEquivalence:
+    """Property-style check: the vectorized engine reproduces the reference."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            sqdm_config(),
+            dense_baseline_config(),
+            AcceleratorConfig(name="all_sparse", num_dpe=0, num_spe=2),
+            AcceleratorConfig(name="wide", num_dpe=3, num_spe=2),
+            sqdm_config(sparsity_update_period=3),
+            sqdm_config(sparsity_threshold=0.7),
+            sqdm_config(global_buffer_kib=1),  # forces DRAM spills
+        ],
+        ids=lambda c: f"{c.name}-p{c.sparsity_update_period}-t{c.sparsity_threshold}-g{c.global_buffer_kib}",
+    )
+    @pytest.mark.parametrize("trial", range(3))
+    def test_randomized_traces_match(self, config, trial):
+        rng = np.random.default_rng(1000 * trial + hash(config.name) % 997)
+        trace = random_trace(rng, steps=int(rng.integers(1, 6)), layers=int(rng.integers(1, 5)))
+        ref = AcceleratorSimulator(config, backend="reference").run_trace(trace)
+        vec = AcceleratorSimulator(config, backend="vectorized").run_trace(trace)
+        assert_reports_equivalent(ref, vec)
+
+    def test_detector_update_schedule_matches(self, synthetic_trace):
+        config = sqdm_config(sparsity_update_period=2)
+        ref_sim = AcceleratorSimulator(config, backend="reference")
+        vec_sim = AcceleratorSimulator(config, backend="vectorized")
+        ref_sim.run_trace(synthetic_trace)
+        vec_sim.run_trace(synthetic_trace)
+        assert (
+            vec_sim.detector_stats.updates_performed
+            == ref_sim.detector_stats.updates_performed
+        )
+        assert (
+            vec_sim.detector_stats.channels_evaluated
+            == ref_sim.detector_stats.channels_evaluated
+        )
+
+    def test_empty_trace(self):
+        for config in (sqdm_config(), dense_baseline_config()):
+            ref = AcceleratorSimulator(config, backend="reference").run_trace([])
+            vec = AcceleratorSimulator(config, backend="vectorized").run_trace([])
+            assert_reports_equivalent(ref, vec)
+            assert vec.total_cycles == 0.0
+
+    def test_empty_steps(self):
+        ref = AcceleratorSimulator(sqdm_config(), backend="reference").run_trace([[], []])
+        vec = AcceleratorSimulator(sqdm_config(), backend="vectorized").run_trace([[], []])
+        assert_reports_equivalent(ref, vec)
+        assert len(vec.step_results) == 2
+
+    def test_single_channel_layers(self):
+        trace = [
+            [
+                ConvLayerWorkload(
+                    "tiny", 1, 1, 1, 1, 1, weight_bits=4, act_bits=4,
+                    channel_sparsity=np.array([sparsity]),
+                )
+            ]
+            for sparsity in (0.0, 0.5, 1.0)
+        ]
+        ref = AcceleratorSimulator(sqdm_config(), backend="reference").run_trace(trace)
+        vec = AcceleratorSimulator(sqdm_config(), backend="vectorized").run_trace(trace)
+        assert_reports_equivalent(ref, vec)
+
+    def test_vectorized_runs_equivalent_back_to_back(self, synthetic_trace):
+        """Backend state (detector schedule) resets between run_trace calls."""
+        sim = AcceleratorSimulator(sqdm_config(sparsity_update_period=2), backend="vectorized")
+        first = sim.run_trace(synthetic_trace)
+        second = sim.run_trace(synthetic_trace)
+        assert second.total_cycles == first.total_cycles
+        assert second.total_energy.total_pj == first.total_energy.total_pj
+
+
+class TestDivisionEdgeCases:
+    def test_safe_speedup_zero_over_zero_is_one(self):
+        assert safe_speedup(0.0, 0.0) == 1.0
+
+    def test_safe_speedup_zero_candidate_is_inf(self):
+        assert safe_speedup(10.0, 0.0) == float("inf")
+
+    def test_relative_saving_zero_over_zero_is_zero(self):
+        assert relative_saving(0.0, 0.0) == 0.0
+
+    def test_relative_saving_zero_baseline_is_neg_inf(self):
+        assert relative_saving(0.0, 5.0) == float("-inf")
+
+    def test_comparison_of_empty_traces(self):
+        empty_report = AcceleratorSimulator(sqdm_config()).run_trace([])
+        baseline_report = AcceleratorSimulator(dense_baseline_config()).run_trace([])
+        comparison = ComparisonResult(baseline=baseline_report, candidate=empty_report)
+        assert comparison.speedup == 1.0
+        assert comparison.energy_saving == 0.0
+
+    def test_hardware_evaluation_of_zero_work(self):
+        from repro.core.pipeline import HardwareEvaluation
+
+        empty = AcceleratorSimulator(sqdm_config()).run_trace([])
+        evaluation = HardwareEvaluation(
+            workload="none",
+            sqdm_report=empty,
+            dense_baseline_report=empty,
+            fp16_dense_report=empty,
+            average_sparsity=0.0,
+        )
+        assert evaluation.sparsity_speedup == 1.0
+        assert evaluation.quantization_speedup == 1.0
+        assert evaluation.total_speedup == 1.0
+        assert evaluation.sparsity_energy_saving == 0.0
+
+
+class TestWorkloadReplace:
+    def test_replace_overrides_fields(self):
+        workload = random_workload(seed=1)
+        copy = workload.replace(weight_bits=16, act_bits=8)
+        assert copy.weight_bits == 16 and copy.act_bits == 8
+        assert copy.name == workload.name
+        assert np.array_equal(copy.channel_sparsity, workload.channel_sparsity)
+
+    def test_replace_copies_sparsity(self):
+        workload = random_workload(seed=2)
+        copy = workload.replace()
+        copy.channel_sparsity[0] = 0.123456
+        assert workload.channel_sparsity[0] != 0.123456
+
+    def test_replace_revalidates(self):
+        workload = random_workload(in_channels=8, seed=3)
+        with pytest.raises(ValueError):
+            workload.replace(channel_sparsity=np.zeros(4))

@@ -1,0 +1,182 @@
+"""Tests for the declarative sweep runner and the simulation-report cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    dense_baseline_config,
+    random_workload,
+    sqdm_config,
+)
+from repro.core.experiments import SweepSpec, run_sweep, sweep_table
+from repro.core.report_cache import (
+    ReportCache,
+    fingerprint_config,
+    fingerprint_energy_table,
+    fingerprint_trace,
+)
+from repro.accelerator.energy import EnergyTable
+
+
+class TestSweepSpec:
+    def test_cases_enumerate_cross_product_in_order(self):
+        spec = SweepSpec(name="s", grid={"a": [1, 2], "b": ["x", "y"]})
+        assert spec.num_cases == 4
+        assert spec.cases() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="s", grid={})
+        with pytest.raises(ValueError):
+            SweepSpec(name="s", grid={"a": []})
+
+
+class TestRunSweep:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_results_in_grid_order(self, executor):
+        result = run_sweep(lambda a, b: a * 10 + b, {"a": [1, 2, 3], "b": [4, 5]}, executor=executor)
+        assert result.values() == [14, 15, 24, 25, 34, 35]
+
+    def test_threaded_sweep_actually_fans_out(self):
+        started = []
+        barrier = threading.Barrier(3, timeout=10)
+
+        def task(i):
+            started.append(i)
+            barrier.wait()  # deadlocks unless 3 workers run concurrently
+            return i
+
+        result = run_sweep(task, {"i": [0, 1, 2]}, executor="thread", max_workers=3)
+        assert result.values() == [0, 1, 2]
+        assert sorted(started) == [0, 1, 2]
+
+    def test_capture_keeps_going_after_failure(self):
+        def flaky(i):
+            if i == 1:
+                raise RuntimeError("boom")
+            return i
+
+        result = run_sweep(flaky, {"i": [0, 1, 2]}, on_error="capture")
+        assert [c.ok for c in result.cases] == [True, False, True]
+        assert len(result.failures()) == 1
+        with pytest.raises(RuntimeError, match="failed"):
+            result.values()
+
+    def test_raise_propagates_failure(self):
+        def bad(i):
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError, match="nope"):
+            run_sweep(bad, {"i": [0, 1]}, executor="serial")
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda i: i, {"i": [1]}, executor="gpu")
+
+    def test_sweep_table_view(self):
+        result = run_sweep(lambda a: a + 1, {"a": [1, 2]}, executor="serial")
+        header, rows = sweep_table(result, value_label="a+1")
+        assert header == ["a", "a+1"]
+        assert rows == [[1, 2], [2, 3]]
+
+
+@pytest.fixture()
+def small_trace():
+    return [
+        [random_workload(in_channels=16, spatial=4, seed=s * 3 + l, name=f"l{l}") for l in range(2)]
+        for s in range(2)
+    ]
+
+
+class TestReportCache:
+    def test_identical_inputs_hit(self, small_trace):
+        cache = ReportCache()
+        first = cache.get_or_run(sqdm_config(), small_trace)
+        second = cache.get_or_run(sqdm_config(), small_trace)
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_cached_report_matches_direct_simulation(self, small_trace):
+        cache = ReportCache()
+        cached = cache.get_or_run(sqdm_config(), small_trace)
+        direct = AcceleratorSimulator(sqdm_config()).run_trace(small_trace)
+        assert cached.total_cycles == direct.total_cycles
+        assert cached.total_energy.total_pj == direct.total_energy.total_pj
+
+    def test_different_config_misses(self, small_trace):
+        cache = ReportCache()
+        cache.get_or_run(sqdm_config(), small_trace)
+        cache.get_or_run(dense_baseline_config(), small_trace)
+        assert cache.stats.misses == 2
+
+    def test_different_sparsity_misses(self, small_trace):
+        cache = ReportCache()
+        cache.get_or_run(sqdm_config(), small_trace)
+        changed = [[w.replace(channel_sparsity=np.zeros(w.in_channels)) for w in s] for s in small_trace]
+        cache.get_or_run(sqdm_config(), changed)
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self, small_trace):
+        cache = ReportCache(max_entries=1)
+        cache.get_or_run(sqdm_config(), small_trace)
+        cache.get_or_run(dense_baseline_config(), small_trace)
+        assert len(cache) == 1
+        cache.get_or_run(sqdm_config(), small_trace)  # evicted -> miss again
+        assert cache.stats.misses == 3
+
+    def test_clear(self, small_trace):
+        cache = ReportCache()
+        cache.get_or_run(sqdm_config(), small_trace)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.requests == 0
+
+
+class TestFingerprints:
+    def test_config_fingerprint_sensitive_to_fields(self):
+        assert fingerprint_config(sqdm_config()) != fingerprint_config(dense_baseline_config())
+        assert fingerprint_config(sqdm_config()) != fingerprint_config(
+            sqdm_config(sparsity_threshold=0.5)
+        )
+        assert fingerprint_config(sqdm_config()) == fingerprint_config(sqdm_config())
+
+    def test_energy_table_fingerprint(self):
+        assert fingerprint_energy_table(EnergyTable()) == fingerprint_energy_table(EnergyTable())
+        assert fingerprint_energy_table(EnergyTable()) != fingerprint_energy_table(
+            EnergyTable(dram_pj_per_byte=99.0)
+        )
+
+    def test_trace_fingerprint_sensitive_to_content(self, small_trace):
+        base = fingerprint_trace(small_trace)
+        assert base == fingerprint_trace(
+            [[w.replace() for w in step] for step in small_trace]
+        )  # deep copy, same content
+        retimed = [[w.replace(weight_bits=16) for w in step] for step in small_trace]
+        assert base != fingerprint_trace(retimed)
+
+
+class TestPipelineCaching:
+    def test_evaluate_hardware_reuses_shared_baselines(self, cifar_workload):
+        """Repeated hardware evaluations of the same trace only simulate once."""
+        from repro.core.pipeline import PipelineConfig, SQDMPipeline
+        from repro.core.report_cache import DEFAULT_REPORT_CACHE
+
+        pipeline = SQDMPipeline(
+            workload=cifar_workload,
+            config=PipelineConfig(num_sampling_steps=2, num_trace_samples=1, num_reference_samples=8),
+        )
+        trace = pipeline.collect_trace(relu=True)
+        before = DEFAULT_REPORT_CACHE.stats.hits
+        first = pipeline.evaluate_hardware(trace=trace)
+        second = pipeline.evaluate_hardware(trace=trace)
+        assert DEFAULT_REPORT_CACHE.stats.hits >= before + 3  # all three reports reused
+        assert second.sqdm_report is first.sqdm_report
