@@ -8,8 +8,10 @@ meet specific latency and power requirements" (Sec. IV-D).
 
 Design-point evaluations are independent, so the sparsity and PE-scaling
 studies fan out through the declarative sweep runner
-(:func:`repro.core.experiments.run_sweep`); traces execute on the default
-vectorized simulation backend.
+(:func:`repro.core.experiments.run_sweep`); the organization study goes
+through the batching scheduler (:func:`repro.serve.run_batched`), which
+coalesces the two dense-baseline traces into one cross-trace batched pass
+and caches every report.
 
 Usage::
 
@@ -29,6 +31,7 @@ from repro.accelerator import (
 )
 from repro.analysis.tables import format_percentage, format_speedup, format_table
 from repro.core.experiments import SweepSpec, run_sweep
+from repro.serve import SimulationRequest, run_batched
 
 
 def build_trace(mean_sparsity: float, steps: int = 6, layers: int = 8):
@@ -56,9 +59,13 @@ def main() -> None:
     fp16_trace = retime_trace_precision(trace, 16, 16)
 
     print("== Organization study: dense baseline vs heterogeneous DPE+SPE ==")
-    fp16_dense = AcceleratorSimulator(dense_baseline_config()).run_trace(fp16_trace)
-    int4_dense = AcceleratorSimulator(dense_baseline_config()).run_trace(trace)
-    int4_sqdm = AcceleratorSimulator(sqdm_config()).run_trace(trace)
+    fp16_dense, int4_dense, int4_sqdm = run_batched(
+        [
+            SimulationRequest(dense_baseline_config(), fp16_trace),
+            SimulationRequest(dense_baseline_config(), trace),
+            SimulationRequest(sqdm_config(), trace),
+        ]
+    )
     rows = [
         ["FP16, dense 2xDPE (baseline)", fp16_dense.total_time_ms, format_speedup(1.0), "-"],
         ["INT4, dense 2xDPE", int4_dense.total_time_ms,

@@ -30,13 +30,40 @@ _BACKENDS = {
     VectorizedBackend.name: VectorizedBackend,
 }
 
-#: Backend used when no explicit choice is made.
-DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", VectorizedBackend.name)
+#: Environment variable overriding the process-default backend.
+BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
+
+#: Backend used when no explicit choice is made (import-time snapshot; prefer
+#: :func:`resolve_backend_name`, which re-reads the environment and validates).
+DEFAULT_BACKEND = os.environ.get(BACKEND_ENV_VAR, VectorizedBackend.name)
 
 
 def available_backends() -> list[str]:
     """Names of the registered simulation backends."""
     return sorted(_BACKENDS)
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Validate a backend choice eagerly, before any simulation work starts.
+
+    ``name=None`` resolves the process default: the ``REPRO_SIM_BACKEND``
+    environment variable if set, else ``"vectorized"``.  Unknown names fail
+    here — at simulator/cache construction — with a message naming the origin
+    of the bad value and listing the registered backends, instead of
+    surfacing later as a lookup failure mid-sweep.
+    """
+    if name is None:
+        requested = os.environ.get(BACKEND_ENV_VAR, "").strip() or VectorizedBackend.name
+        origin = f"environment variable {BACKEND_ENV_VAR}"
+    else:
+        requested = name
+        origin = "backend argument"
+    if requested not in _BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {requested!r} (from {origin}); "
+            f"registered backends: {available_backends()}"
+        )
+    return requested
 
 
 def get_backend(
@@ -53,6 +80,7 @@ def get_backend(
 
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "DetectorStats",
     "ReferenceBackend",
@@ -60,4 +88,5 @@ __all__ = [
     "VectorizedBackend",
     "available_backends",
     "get_backend",
+    "resolve_backend_name",
 ]

@@ -52,6 +52,16 @@ class SimulationBackend(Protocol):
         """Execute a full multi-time-step workload trace."""
         ...
 
+    def run_traces(self, traces: "list[WorkloadTrace]") -> "list[SimulationReport]":
+        """Execute several traces on this configuration, one report each.
+
+        Engines that can batch across traces (the vectorized backend) fuse
+        the whole list into a single pass; others run a plain loop.  Either
+        way, each trace's report must be identical to a ``run_trace`` run,
+        and ``detector_stats`` afterwards reflects the whole batch.
+        """
+        ...
+
     def reset(self) -> None:
         """Clear any cross-run state (detector classifications, counters)."""
         ...

@@ -59,6 +59,15 @@ class ReferenceBackend:
             time_step=time_step, cycles=cycles, energy=energy, layer_results=layer_results
         )
 
+    def run_traces(self, traces: "list[list[list[ConvLayerWorkload]]]") -> "list":
+        """Execute several traces back to back (no cross-trace batching).
+
+        Provided for interface parity with the vectorized engine's batched
+        entry point; the reference model is inherently sequential, so this is
+        a plain loop with the usual per-trace controller reset.
+        """
+        return [self.run_trace(trace) for trace in traces]
+
     def run_trace(self, trace: "list[list[ConvLayerWorkload]]"):
         """Execute a full multi-time-step workload trace."""
         from ..simulator import SimulationReport

@@ -76,24 +76,26 @@ class VectorizedBackend:
 
     # -- classification schedule ---------------------------------------------------
 
-    def _classification_sources(self, entries: list[tuple[int, ConvLayerWorkload]]) -> np.ndarray:
+    def _classification_sources(self, entries: list[tuple[int, int, ConvLayerWorkload]]) -> np.ndarray:
         """For each entry, the entry index whose sparsity sets its dense/sparse split.
 
         Mirrors :class:`TemporalSparsityDetector`: a layer's classification is
         refreshed when first seen and whenever ``update_period`` time steps
         have elapsed since its last refresh; between refreshes the stale
         channel grouping (computed from the refresh step's sparsity) is reused
-        while the *current* sparsity still drives the datapath work.
+        while the *current* sparsity still drives the datapath work.  Each
+        trace of a batch carries its own detector state — classifications
+        never leak across traces, so batched results match per-trace runs.
         """
         source = np.arange(len(entries), dtype=np.int64)
         period = self.config.sparsity_update_period
-        last_update: dict[str, tuple[int, int]] = {}
+        last_update: dict[tuple[int, str], tuple[int, int]] = {}
         updates = 0
         channels_evaluated = 0
-        for index, (time_step, workload) in enumerate(entries):
-            previous = last_update.get(workload.name)
+        for index, (trace_idx, time_step, workload) in enumerate(entries):
+            previous = last_update.get((trace_idx, workload.name))
             if previous is None or time_step - previous[0] >= period:
-                last_update[workload.name] = (time_step, index)
+                last_update[(trace_idx, workload.name)] = (time_step, index)
                 updates += 1
                 channels_evaluated += workload.in_channels
             else:
@@ -105,23 +107,49 @@ class VectorizedBackend:
     # -- trace execution ---------------------------------------------------------
 
     def run_trace(self, trace: "list[list[ConvLayerWorkload]]"):
+        """Execute a full multi-time-step workload trace."""
+        return self.run_traces([trace])[0]
+
+    def _zero_report(self, trace: "list[list[ConvLayerWorkload]]"):
+        from ..simulator import SimulationReport, StepResult
+
+        return SimulationReport(
+            config_name=self.config.name,
+            total_cycles=0.0,
+            total_energy=EnergyBreakdown(),
+            step_results=[
+                StepResult(time_step=t, cycles=0.0, energy=EnergyBreakdown())
+                for t in range(len(trace))
+            ],
+            clock_ghz=self.config.clock_ghz,
+        )
+
+    def run_traces(
+        self, traces: "list[list[list[ConvLayerWorkload]]]"
+    ) -> "list":
+        """Execute several traces on this configuration in one batched pass.
+
+        The cross-trace entry point behind fleet sweeps: all (trace, time
+        step, layer) cells are flattened into one entry axis and every array
+        quantity is computed for the whole batch at once, so N queued traces
+        sharing an :class:`AcceleratorConfig` cost one NumPy pass instead of
+        N.  Per-trace results are bit-identical to ``run_trace`` runs — the
+        per-entry math is row-independent and each trace keeps its own
+        detector schedule — and :attr:`detector_stats` holds the batch totals.
+        """
         from ..controller import LayerExecutionResult
         from ..simulator import SimulationReport, StepResult
 
         self.reset()
-        entries = [(t, w) for t, workloads in enumerate(trace) for w in workloads]
+        entries = [
+            (trace_idx, t, w)
+            for trace_idx, trace in enumerate(traces)
+            for t, workloads in enumerate(trace)
+            for w in workloads
+        ]
         num_entries = len(entries)
         if num_entries == 0:
-            return SimulationReport(
-                config_name=self.config.name,
-                total_cycles=0.0,
-                total_energy=EnergyBreakdown(),
-                step_results=[
-                    StepResult(time_step=t, cycles=0.0, energy=EnergyBreakdown())
-                    for t in range(len(trace))
-                ],
-                clock_ghz=self.config.clock_ghz,
-            )
+            return [self._zero_report(trace) for trace in traces]
 
         config = self.config
         table = self.energy_table
@@ -132,7 +160,7 @@ class VectorizedBackend:
         # quantity (footprints, MAC counts) is then computed as array math,
         # reproducing the ConvLayerWorkload formulas exactly (integer-valued
         # float64 products are exact well past these magnitudes).
-        workloads = [w for _, w in entries]
+        workloads = [w for _, _, w in entries]
         raw = np.array(
             [
                 (w.in_channels, w.out_channels, w.kernel_size, w.out_height, w.out_width,
@@ -325,34 +353,56 @@ class VectorizedBackend:
             for i, row in enumerate(per_layer)
         ]
 
-        # Step boundaries in the flattened entry order; exclusive-prefix sums
-        # handle empty steps without special cases.
-        step_sizes = np.array([len(step) for step in trace], dtype=np.int64)
+        # Step boundaries in the flattened (trace-major) entry order;
+        # exclusive-prefix sums handle empty steps without special cases.
+        # The cumsum is zero-based per trace segment so every per-step sum is
+        # the same float operation sequence as a single-trace run — batched
+        # reports are bit-identical, not merely close.
+        step_sizes = np.array(
+            [len(step) for trace in traces for step in trace], dtype=np.int64
+        )
         ends = np.cumsum(step_sizes)
         starts = ends - step_sizes
         stacked = np.column_stack([layer_cycles, *energy_columns])
-        prefix = np.zeros((num_entries + 1, stacked.shape[1]), dtype=np.float64)
-        np.cumsum(stacked, axis=0, out=prefix[1:])
-        per_step = (prefix[ends] - prefix[starts]).tolist()
-        step_results = [
-            StepResult(
-                time_step=time_step,
-                cycles=per_step[time_step][0],
-                energy=EnergyBreakdown(*per_step[time_step][1:]),
-                layer_results=layer_results[starts[time_step] : ends[time_step]],
-            )
-            for time_step in range(len(trace))
-        ]
+        per_step: list[list[float]] = []
+        step_cursor = 0
+        for trace in traces:
+            num_steps = len(trace)
+            seg_start = int(starts[step_cursor]) if num_steps else 0
+            seg_end = int(ends[step_cursor + num_steps - 1]) if num_steps else 0
+            segment = stacked[seg_start:seg_end]
+            seg_prefix = np.zeros((segment.shape[0] + 1, stacked.shape[1]), dtype=np.float64)
+            np.cumsum(segment, axis=0, out=seg_prefix[1:])
+            seg_ends = ends[step_cursor : step_cursor + num_steps] - seg_start
+            seg_starts = starts[step_cursor : step_cursor + num_steps] - seg_start
+            per_step.extend((seg_prefix[seg_ends] - seg_prefix[seg_starts]).tolist())
+            step_cursor += num_steps
 
-        total_energy = EnergyBreakdown()
-        total_cycles = 0.0
-        for step in step_results:
-            total_cycles += step.cycles
-            total_energy = total_energy + step.energy
-        return SimulationReport(
-            config_name=config.name,
-            total_cycles=total_cycles,
-            total_energy=total_energy,
-            step_results=step_results,
-            clock_ghz=config.clock_ghz,
-        )
+        reports = []
+        global_step = 0
+        for trace in traces:
+            step_results = []
+            total_energy = EnergyBreakdown()
+            total_cycles = 0.0
+            for time_step in range(len(trace)):
+                row = per_step[global_step]
+                step = StepResult(
+                    time_step=time_step,
+                    cycles=row[0],
+                    energy=EnergyBreakdown(*row[1:]),
+                    layer_results=layer_results[starts[global_step] : ends[global_step]],
+                )
+                step_results.append(step)
+                total_cycles += step.cycles
+                total_energy = total_energy + step.energy
+                global_step += 1
+            reports.append(
+                SimulationReport(
+                    config_name=config.name,
+                    total_cycles=total_cycles,
+                    total_energy=total_energy,
+                    step_results=step_results,
+                    clock_ghz=config.clock_ghz,
+                )
+            )
+        return reports

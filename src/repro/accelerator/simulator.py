@@ -145,16 +145,16 @@ class AcceleratorSimulator:
         energy_table: EnergyTable | None = None,
         backend: "str | SimulationBackend | None" = None,
     ):
-        from .backends import DEFAULT_BACKEND, available_backends
+        from .backends import resolve_backend_name
 
         self.config = config
         self.energy_table = energy_table or DEFAULT_ENERGY_TABLE
-        self._backend_spec = backend if backend is not None else DEFAULT_BACKEND
-        if isinstance(self._backend_spec, str) and self._backend_spec not in available_backends():
-            raise ValueError(
-                f"unknown simulation backend {self._backend_spec!r}; "
-                f"available: {available_backends()}"
-            )
+        # Backend names (including the REPRO_SIM_BACKEND default) are
+        # validated here, eagerly, with the full registry in the message.
+        self._backend_spec: "str | SimulationBackend" = (
+            backend if backend is not None and not isinstance(backend, str)
+            else resolve_backend_name(backend)
+        )
         self._backend: "SimulationBackend | None" = (
             None if isinstance(self._backend_spec, str) else self._backend_spec
         )
@@ -217,6 +217,18 @@ class AcceleratorSimulator:
     def run_trace(self, trace: WorkloadTrace) -> SimulationReport:
         """Execute a full multi-time-step workload trace on the active backend."""
         return self.backend.run_trace(trace)
+
+    def run_traces(self, traces: list[WorkloadTrace]) -> list[SimulationReport]:
+        """Execute several traces on the active backend, one report per trace.
+
+        The vectorized engine fuses the whole batch into a single NumPy pass
+        (cross-trace batching, the fleet-sweep fast path); backends without a
+        batched entry point fall back to a per-trace loop.
+        """
+        run_traces = getattr(self.backend, "run_traces", None)
+        if run_traces is not None:
+            return run_traces(traces)
+        return [self.backend.run_trace(trace) for trace in traces]
 
 
 @dataclass

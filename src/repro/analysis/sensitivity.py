@@ -56,14 +56,18 @@ def block_sensitivity_sweep(
 
     The per-block evaluations are independent, so they fan out through the
     declarative sweep runner (``executor="serial"`` restores the sequential
-    behaviour; ``"process"`` is not supported because the evaluation closes
-    over the live pipeline/model, which cannot cross process boundaries).
-    Each grid point deep-copies its own model; the shared FID reference
-    statistics are materialized up front so workers only read them.
+    behaviour; ``"service"`` routes the grid points through a shared
+    :class:`~repro.serve.service.EvaluationService` as callable jobs, which
+    still run on threads; ``"process"`` is not supported because the
+    evaluation closes over the live pipeline/model, which cannot cross
+    process boundaries).  Each grid point deep-copies its own model; the
+    shared FID reference statistics are materialized up front so workers
+    only read them.
     """
-    if executor not in ("thread", "serial"):
+    if executor not in ("thread", "serial", "service"):
         raise ValueError(
-            f"block_sensitivity_sweep supports executor='thread' or 'serial', got {executor!r}"
+            "block_sensitivity_sweep supports executor='thread', 'serial' or "
+            f"'service', got {executor!r}"
         )
     model = pipeline.workload.unet
     infos = model.block_infos()

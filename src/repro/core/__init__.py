@@ -1,5 +1,11 @@
 """SQ-DM core: the paper's contribution (mixed-precision + temporal sparsity co-design)."""
 
+from .artifacts import (
+    ArtifactStore,
+    ArtifactStoreStats,
+    artifact_store_at,
+    default_artifact_store,
+)
 from .costs import CostSummary, LayerCost, cost_summary, high_precision_cost_fraction, layer_cost_table
 from .experiments import SweepCaseResult, SweepResult, SweepSpec, run_sweep, sweep_table
 from .pipeline import (
@@ -45,6 +51,8 @@ from .sparsity import (
 
 __all__ = [
     "DEFAULT_REPORT_CACHE",
+    "ArtifactStore",
+    "ArtifactStoreStats",
     "CacheStats",
     "CostSummary",
     "HardwareEvaluation",
@@ -64,7 +72,9 @@ __all__ = [
     "UpdatePeriodPoint",
     "analyze_threshold",
     "analyze_update_period",
+    "artifact_store_at",
     "best_threshold",
+    "default_artifact_store",
     "collect_sparsity_trace",
     "cost_summary",
     "detection_overhead_fraction",

@@ -1,0 +1,268 @@
+"""Disk-backed, content-addressed artifact store for evaluation results.
+
+The in-memory :class:`~repro.core.report_cache.ReportCache` dies with the
+process, so every new worker, CI job or CLI invocation re-simulates sweeps it
+has already paid for.  This module adds the persistent tier: artifacts
+(simulation reports, FID reference statistics, sparsity traces) are written
+under a root directory, addressed by the SHA-256 of their input fingerprints,
+and shared by every process pointing at the same directory.
+
+Layout::
+
+    <root>/<kind>/<key[:2]>/<key>.art
+
+where ``kind`` namespaces artifact types (``"report"``, ``"fid_stats"``,
+``"trace"``) and ``key`` is a hex digest produced by :meth:`ArtifactStore.key_for`
+from the same fingerprints the report cache uses.
+
+Robustness contract:
+
+* **Atomic writes** — payloads land in a temporary file in the destination
+  directory and are published with :func:`os.replace`, so concurrent writers
+  and readers (threads *or* processes) never observe a half-written artifact;
+  the last writer wins with identical content.
+* **Corruption-tolerant reads** — every file carries a magic header and a
+  SHA-256 checksum of its payload.  A truncated, garbled or foreign file
+  fails verification, is quarantined (deleted) and reported as a miss, so the
+  caller recomputes instead of crashing.
+
+Set the ``REPRO_ARTIFACT_DIR`` environment variable to give the process-wide
+report cache (and :class:`~repro.core.pipeline.SQDMPipeline`) a default
+store; see :func:`default_artifact_store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+#: File-format magic; bump the trailing version when the layout changes so old
+#: processes treat new files as corrupt (recompute) rather than misparse them.
+_MAGIC = b"RPRO-ART1\n"
+_DIGEST_BYTES = 32
+_SUFFIX = ".art"
+
+#: Environment variable naming the default artifact directory.
+ARTIFACT_DIR_ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+
+@dataclass
+class ArtifactStoreStats:
+    """Per-store counters, for hit-rate reporting and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_discarded: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ArtifactStore:
+    """Content-addressed persistent artifact storage under one root directory."""
+
+    def __init__(self, root: str | os.PathLike[str]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = ArtifactStoreStats()
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore(root={str(self.root)!r})"
+
+    # -- keys -----------------------------------------------------------------
+
+    @staticmethod
+    def key_for(*parts: str) -> str:
+        """Derive a content-address from fingerprint strings.
+
+        Parts are joined with an unambiguous separator before hashing, so
+        ``("ab", "c")`` and ``("a", "bc")`` produce distinct keys.
+        """
+        if not parts:
+            raise ValueError("key_for needs at least one fingerprint part")
+        digest = hashlib.sha256()
+        for part in parts:
+            encoded = str(part).encode()
+            digest.update(len(encoded).to_bytes(8, "little"))
+            digest.update(encoded)
+        return digest.hexdigest()
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """On-disk location of one artifact (which may not exist yet)."""
+        if not kind or any(sep in kind for sep in ("/", "\\", "..")):
+            raise ValueError(f"invalid artifact kind {kind!r}")
+        if not key or any(sep in key for sep in ("/", "\\", "..")):
+            raise ValueError(f"invalid artifact key {key!r}")
+        return self.root / kind / key[:2] / f"{key}{_SUFFIX}"
+
+    # -- read / write ---------------------------------------------------------
+
+    def put(self, kind: str, key: str, obj: Any) -> Path:
+        """Atomically persist one artifact; concurrent writers are safe."""
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.writes += 1
+        return path
+
+    def get(self, kind: str, key: str, default: Any = None) -> Any:
+        """Load one artifact, returning ``default`` on absence *or* corruption.
+
+        Any failure mode of the file — missing, truncated, bad magic, payload
+        checksum mismatch, unpicklable bytes — counts as a miss; corrupt files
+        are additionally deleted so they stop costing a read each lookup.
+        """
+        path = self.path_for(kind, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return default
+
+        obj, ok = self._decode(blob)
+        with self._lock:
+            if ok:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self.stats.corrupt_discarded += 1
+        if not ok:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+        return obj
+
+    @staticmethod
+    def _decode(blob: bytes) -> tuple[Any, bool]:
+        header_len = len(_MAGIC) + _DIGEST_BYTES
+        if len(blob) < header_len or not blob.startswith(_MAGIC):
+            return None, False
+        digest = blob[len(_MAGIC) : header_len]
+        payload = blob[header_len:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None, False
+        try:
+            return pickle.loads(payload), True
+        except Exception:  # noqa: BLE001 - any undecodable payload is corruption
+            return None, False
+
+    def contains(self, kind: str, key: str) -> bool:
+        return self.path_for(kind, key).exists()
+
+    def delete(self, kind: str, key: str) -> bool:
+        try:
+            self.path_for(kind, key).unlink()
+            return True
+        except OSError:
+            return False
+
+    # -- enumeration / maintenance --------------------------------------------
+
+    def _artifact_paths(self, kind: str | None = None) -> Iterator[Path]:
+        roots = [self.root / kind] if kind else [p for p in self.root.iterdir() if p.is_dir()]
+        for kind_dir in roots:
+            if kind_dir.is_dir():
+                yield from sorted(kind_dir.glob(f"*/*{_SUFFIX}"))
+
+    def kinds(self) -> list[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def keys(self, kind: str) -> list[str]:
+        return [p.name[: -len(_SUFFIX)] for p in self._artifact_paths(kind)]
+
+    def count(self, kind: str | None = None) -> int:
+        return sum(1 for _ in self._artifact_paths(kind))
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        total = 0
+        for path in self._artifact_paths(kind):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                # Concurrently quarantined/wiped by another process: skip it,
+                # same as wipe() tolerates a vanished file.
+                pass
+        return total
+
+    def wipe(self, kind: str | None = None) -> int:
+        """Delete stored artifacts (all kinds, or one), returning the count removed."""
+        removed = 0
+        for path in list(self._artifact_paths(kind)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def summary(self) -> dict[str, Any]:
+        """Per-kind counts and sizes, for ``repro cache stats`` and JSON reports."""
+        return {
+            "root": str(self.root),
+            "kinds": {
+                kind: {
+                    "artifacts": self.count(kind),
+                    "bytes": self.total_bytes(kind),
+                }
+                for kind in self.kinds()
+            },
+            "total_artifacts": self.count(),
+            "total_bytes": self.total_bytes(),
+        }
+
+
+#: One store instance per resolved root, so every consumer of the same
+#: directory in a process shares hit/miss statistics.
+_STORES_BY_ROOT: dict[str, ArtifactStore] = {}
+_STORES_LOCK = threading.Lock()
+
+
+def artifact_store_at(root: str | os.PathLike[str]) -> ArtifactStore:
+    """The process-wide :class:`ArtifactStore` for a directory (created once)."""
+    resolved = str(Path(root).expanduser().resolve())
+    with _STORES_LOCK:
+        store = _STORES_BY_ROOT.get(resolved)
+        if store is None:
+            store = _STORES_BY_ROOT[resolved] = ArtifactStore(resolved)
+        return store
+
+
+def default_artifact_store() -> ArtifactStore | None:
+    """The store named by ``REPRO_ARTIFACT_DIR``, or None when persistence is off.
+
+    Resolved on every call, so tests and CLI entry points may set the
+    environment variable after import time.
+    """
+    root = os.environ.get(ARTIFACT_DIR_ENV_VAR, "").strip()
+    if not root:
+        return None
+    return artifact_store_at(root)

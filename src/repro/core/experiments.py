@@ -21,11 +21,40 @@ thousand-point sweep.
 from __future__ import annotations
 
 import itertools
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-EXECUTORS = ("thread", "process", "serial")
+if TYPE_CHECKING:  # pragma: no cover - typing-only; serve imports us at runtime
+    from ..serve.service import EvaluationService
+
+EXECUTORS = ("thread", "process", "serial", "service")
+
+
+def ensure_picklable(obj: Any, error_message: str) -> None:
+    """Fail fast (and intelligibly) on payloads that cannot cross processes.
+
+    ``ProcessPoolExecutor`` pickles work per submission; for lambdas,
+    locally-defined functions or closures over live models that fails deep
+    inside the pool with a bare ``PicklingError`` traceback.  Checking at the
+    submission boundary turns it into an actionable error before any worker
+    spawns — both the process sweep executor and the evaluation service's
+    sampling jobs route through this guard.
+    """
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise ValueError(f"{error_message} ({exc})") from exc
+
+
+def _require_picklable_case_fn(fn: Callable[..., Any]) -> None:
+    ensure_picklable(
+        fn,
+        f"executor='process' requires a picklable case function, but {fn!r} "
+        "cannot be pickled. Use a module-level function taking plain-data "
+        "arguments, or executor='thread' for closures over live objects.",
+    )
 
 
 @dataclass(frozen=True)
@@ -104,6 +133,7 @@ def run_sweep(
     executor: str = "thread",
     max_workers: int | None = None,
     on_error: str = "raise",
+    service: "EvaluationService | None" = None,
 ) -> SweepResult:
     """Evaluate ``fn(**params)`` over every grid point of ``spec``.
 
@@ -112,17 +142,24 @@ def run_sweep(
     fn:
         Evaluation function taking the grid's parameters as keyword
         arguments.  With ``executor="process"`` it must be picklable
-        (a module-level function).
+        (a module-level function); this is verified up front.
     spec:
         A :class:`SweepSpec`, or a bare ``{param: values}`` mapping which is
         wrapped into an anonymous spec.
     executor:
-        ``"thread"`` (default), ``"process"`` or ``"serial"``.
+        ``"thread"`` (default), ``"process"``, ``"serial"`` or ``"service"``.
+        ``"service"`` submits every grid point as a job to an
+        :class:`~repro.serve.service.EvaluationService`, so sweep cases share
+        the service's worker pools, report cache and coalescing scheduler
+        with any other traffic it is serving.
     max_workers:
         Worker count for the parallel executors (library default if None).
     on_error:
         ``"raise"`` propagates the first failure; ``"capture"`` records the
         exception on the affected :class:`SweepCaseResult` and continues.
+    service:
+        The evaluation service for ``executor="service"`` (an ephemeral one
+        is created — and shut down — when omitted).
     """
     if not isinstance(spec, SweepSpec):
         spec = SweepSpec(name="sweep", grid=dict(spec))
@@ -130,6 +167,8 @@ def run_sweep(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
+    if executor == "process":
+        _require_picklable_case_fn(fn)
 
     cases = [SweepCaseResult(index=i, params=params) for i, params in enumerate(spec.cases())]
 
@@ -142,7 +181,9 @@ def run_sweep(
             case.error = exc
         return case
 
-    if executor == "serial" or len(cases) <= 1:
+    if executor == "service":
+        _run_sweep_on_service(fn, spec, cases, on_error, service, max_workers)
+    elif executor == "serial" or len(cases) <= 1:
         for case in cases:
             evaluate(case)
     else:
@@ -164,6 +205,39 @@ def run_sweep(
                 cases = list(pool.map(evaluate, cases))
 
     return SweepResult(spec=spec, cases=cases)
+
+
+def _run_sweep_on_service(
+    fn: Callable[..., Any],
+    spec: SweepSpec,
+    cases: list[SweepCaseResult],
+    on_error: str,
+    service: "EvaluationService | None",
+    max_workers: int | None,
+) -> None:
+    """Fan a sweep's cases out as jobs on an evaluation service."""
+    from ..serve.service import EvaluationService  # deferred: core must import without serve
+
+    owned = service is None
+    active = service if service is not None else EvaluationService(max_workers=max_workers)
+    try:
+        jobs = [
+            active.submit_callable(
+                fn, kwargs=case.params, label=f"{spec.name}[{case.index}]"
+            )
+            for case in cases
+        ]
+        for case, job in zip(cases, jobs):
+            job.wait()
+            if job.ok:
+                case.value = job.result_value
+            else:
+                if on_error == "raise":
+                    raise job.error
+                case.error = job.error
+    finally:
+        if owned:
+            active.close()
 
 
 def sweep_table(result: SweepResult, value_label: str = "value") -> tuple[list[str], list[list[Any]]]:

@@ -26,16 +26,32 @@ import numpy as np
 
 from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
 from ..accelerator.simulator import SimulationReport, relative_saving, safe_speedup
-from ..diffusion.fid import FIDEvaluator
+from ..diffusion.fid import FeatureStatistics, FIDEvaluator
 from ..diffusion.finetune import adapt_to_relu, make_calibration_batch
 from ..diffusion.sampler import SamplerConfig, sample
 from ..diffusion.schedule import ScheduleConfig
 from ..nn.unet import EDMUNet
 from ..workloads.models import Workload, load_workload
+from .artifacts import ArtifactStore, default_artifact_store
 from .costs import CostSummary, cost_summary
 from .policy import QuantizationPolicy, mixed_precision_policy, table1_policy
-from .report_cache import simulate_cached
+from .report_cache import ReportCache
 from .sparsity import TemporalSparsityTrace, collect_sparsity_trace, trace_to_workloads
+
+#: Artifact-store namespaces used by the pipeline.
+FID_STATS_ARTIFACT_KIND = "fid_stats"
+TRACE_ARTIFACT_KIND = "trace"
+
+
+def _policy_fingerprint(policy: QuantizationPolicy | None) -> str:
+    """Stable digest of a policy's per-layer bit assignments (artifact keys)."""
+    if policy is None:
+        return "none"
+    assignments = [
+        (name, assignment.weight_bits, assignment.act_bits)
+        for name, assignment in sorted(policy.assignments.items())
+    ]
+    return ArtifactStore.key_for(policy.name, str(policy.requires_relu), repr(assignments))
 
 
 @dataclass
@@ -119,21 +135,57 @@ class SQDMPipeline:
         workload_name: str = "cifar10",
         config: PipelineConfig | None = None,
         workload: Workload | None = None,
+        artifacts: "ArtifactStore | None | str" = "auto",
+        report_cache: ReportCache | None = None,
     ):
         self.config = config or PipelineConfig()
         self.workload = workload or load_workload(workload_name)
+        self._artifacts_spec = artifacts
+        self.report_cache = report_cache
         self._fid_evaluator: FIDEvaluator | None = None
         self._relu_unet: EDMUNet | None = None
 
     # -- shared infrastructure -------------------------------------------------
 
     @property
+    def artifact_store(self) -> ArtifactStore | None:
+        """Persistent store for FID statistics, traces and reports, if enabled.
+
+        The default (``artifacts="auto"``) follows the ``REPRO_ARTIFACT_DIR``
+        environment variable; pass an explicit :class:`ArtifactStore` or None
+        to override.
+        """
+        if self._artifacts_spec == "auto":
+            return default_artifact_store()
+        return self._artifacts_spec
+
+    @property
     def fid_evaluator(self) -> FIDEvaluator:
+        """The proxy-FID evaluator with reference statistics materialized.
+
+        Reference statistics are the expensive part (feature extraction over
+        hundreds of images); with an artifact store enabled they are computed
+        once per (workload, sample count, feature space) fleet-wide and
+        loaded from disk everywhere else.
+        """
         if self._fid_evaluator is None:
             evaluator = FIDEvaluator()
-            evaluator.set_reference(
-                self.workload.dataset.reference_samples(self.config.num_reference_samples)
+            store = self.artifact_store
+            key = ArtifactStore.key_for(
+                self.workload.name,
+                repr(self.workload.image_shape),
+                str(self.config.num_reference_samples),
+                evaluator.extractor.fingerprint(),
             )
+            stats = store.get(FID_STATS_ARTIFACT_KIND, key) if store is not None else None
+            if isinstance(stats, FeatureStatistics):
+                evaluator.set_reference_statistics(stats)
+            else:
+                computed = evaluator.set_reference(
+                    self.workload.dataset.reference_samples(self.config.num_reference_samples)
+                )
+                if store is not None:
+                    store.put(FID_STATS_ARTIFACT_KIND, key, computed)
             self._fid_evaluator = evaluator
         return self._fid_evaluator
 
@@ -200,20 +252,51 @@ class SQDMPipeline:
 
     # -- sparsity + hardware evaluation --------------------------------------------
 
+    def _trace_key(self, relu: bool, policy: QuantizationPolicy | None) -> str:
+        """Artifact key covering every knob that shapes a sparsity trace."""
+        return ArtifactStore.key_for(
+            self.workload.name,
+            repr(self.workload.image_shape),
+            str(self.config.num_trace_samples),
+            str(self.config.num_sampling_steps),
+            repr(self.config.zero_tolerance_rel),
+            str(self.config.seed),
+            str(relu),
+            _policy_fingerprint(policy),
+        )
+
     def collect_trace(self, relu: bool = True, policy: QuantizationPolicy | None = None) -> TemporalSparsityTrace:
-        """Collect the temporal per-channel sparsity trace for this workload."""
-        model = self._model_for(relu)
+        """Collect the temporal per-channel sparsity trace for this workload.
+
+        Tracing replays the whole sampling trajectory, which dominates
+        hardware-evaluation wall-clock; with an artifact store enabled the
+        trace is persisted under a key covering the workload, the sampling
+        knobs and the policy's bit assignments, so other processes reuse it.
+        ``policy=None`` is resolved to the default mixed-precision policy
+        *before* keying, so explicit and defaulted callers share one artifact.
+        """
         if policy is None:
-            policy = mixed_precision_policy(model, relu=relu)
+            base = self.relu_unet() if relu else self.workload.unet
+            policy = mixed_precision_policy(base, relu=relu)
+        store = self.artifact_store
+        key = self._trace_key(relu, policy)
+        if store is not None:
+            cached = store.get(TRACE_ARTIFACT_KIND, key)
+            if isinstance(cached, TemporalSparsityTrace):
+                return cached
+        model = self._model_for(relu)
         policy.apply(model)
         denoiser = self._denoiser_for(model)
-        return collect_sparsity_trace(
+        trace = collect_sparsity_trace(
             denoiser,
             self.workload.image_shape,
             self.config.sampler_config(),
             num_samples=self.config.num_trace_samples,
             zero_tolerance_rel=self.config.zero_tolerance_rel,
         )
+        if store is not None:
+            store.put(TRACE_ARTIFACT_KIND, key, trace)
+        return trace
 
     def evaluate_hardware(
         self,
@@ -228,11 +311,15 @@ class SQDMPipeline:
         dense 2-DPE baseline; the same layer geometry at FP16 on the dense
         baseline provides the total-speed-up reference.
 
-        Simulations go through the process-wide report cache, so sweeps that
-        vary only one configuration (e.g. threshold or update-period studies)
-        re-use the shared FP16 / dense-baseline runs instead of re-simulating
-        them.
+        The three simulations go through the batching scheduler
+        (:func:`repro.serve.scheduler.run_batched`) against the two-tier
+        report cache: sweeps that vary only one configuration re-use the
+        shared FP16 / dense-baseline runs (from memory or the artifact
+        store), and the cache misses that do simulate are coalesced — the two
+        dense-baseline traces share one cross-trace batched pass.
         """
+        from ..serve.scheduler import SimulationRequest, run_batched
+
         model = self._model_for(relu=True)
         policy = mixed_precision_policy(model, relu=True)
         if trace is None:
@@ -243,9 +330,14 @@ class SQDMPipeline:
 
         sqdm = sqdm or sqdm_config()
         baseline = baseline or dense_baseline_config()
-        sqdm_report = simulate_cached(sqdm, quant_trace)
-        dense_report = simulate_cached(baseline, quant_trace)
-        fp16_report = simulate_cached(baseline, fp16_trace)
+        sqdm_report, dense_report, fp16_report = run_batched(
+            [
+                SimulationRequest(sqdm, quant_trace),
+                SimulationRequest(baseline, quant_trace),
+                SimulationRequest(baseline, fp16_trace),
+            ],
+            cache=self.report_cache,
+        )
         return HardwareEvaluation(
             workload=self.workload.name,
             sqdm_report=sqdm_report,

@@ -1,12 +1,17 @@
-"""Simulation-report cache keyed by (config, energy table, trace) fingerprints.
+"""Two-tier simulation-report cache keyed by (config, energy table, trace) fingerprints.
 
 Parameter sweeps — Tables I/II, Fig. 3, Fig. 11, threshold/update-period
 studies — repeatedly simulate the *same* FP16 or dense-baseline trace while
 varying an orthogonal knob.  This module fingerprints every ingredient that
 determines a :class:`~repro.accelerator.simulator.SimulationReport` (the
 frozen hardware config, the energy table constants, and the full workload
-trace including per-channel sparsity arrays) and memoizes reports in an LRU
-cache, so shared baselines are simulated once per process.
+trace including per-channel sparsity arrays) and memoizes reports in two
+tiers:
+
+1. an in-process LRU (``OrderedDict``), shared by all sweep threads, and
+2. optionally a persistent :class:`~repro.core.artifacts.ArtifactStore`, so a
+   second process re-running the same sweep — another worker, a CI job, a
+   fresh CLI invocation — loads reports from disk instead of re-simulating.
 
 Reports returned from the cache are shared objects: treat them as read-only,
 as all existing analysis code already does.
@@ -24,6 +29,13 @@ import numpy as np
 from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import DEFAULT_ENERGY_TABLE, EnergyTable
 from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
+from .artifacts import ArtifactStore, default_artifact_store
+
+#: Artifact-store namespace used for persisted simulation reports.
+REPORT_ARTIFACT_KIND = "report"
+
+#: Cache keys are 4-tuples of fingerprints: (config, energy table, trace, backend).
+CacheKey = tuple[str, str, str, str]
 
 
 def fingerprint_config(config: AcceleratorConfig) -> str:
@@ -87,37 +99,72 @@ def fingerprint_trace(trace: WorkloadTrace) -> str:
     return digest.hexdigest()
 
 
+def artifact_key_for(key: CacheKey) -> str:
+    """Content-address of one cache key in the persistent artifact store."""
+    return ArtifactStore.key_for(*key)
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one report cache."""
+    """Hit/miss counters of one report cache.
+
+    ``hits`` are served from process memory, ``disk_hits`` from the
+    persistent artifact tier (then promoted to memory); ``misses`` required a
+    simulation.
+    """
 
     hits: int = 0
+    disk_hits: int = 0
     misses: int = 0
 
     @property
     def requests(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.requests if self.requests else 0.0
+        return (self.hits + self.disk_hits) / self.requests if self.requests else 0.0
 
 
 class ReportCache:
-    """LRU cache of simulation reports keyed by input fingerprints."""
+    """Two-tier LRU cache of simulation reports keyed by input fingerprints.
 
-    def __init__(self, max_entries: int = 128):
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-memory tier.
+    store:
+        The persistent tier: an :class:`ArtifactStore`, None (memory only,
+        the default for explicitly constructed caches), or the string
+        ``"auto"`` to resolve the store named by ``REPRO_ARTIFACT_DIR`` on
+        each access (used by the process-wide default cache, so setting the
+        environment variable enables persistence without code changes).
+    """
+
+    def __init__(self, max_entries: int = 128, store: "ArtifactStore | None | str" = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if isinstance(store, str) and store != "auto":
+            raise ValueError(f"store must be an ArtifactStore, None or 'auto', got {store!r}")
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._entries: OrderedDict[tuple[str, str, str, str], SimulationReport] = OrderedDict()
+        self._store_spec = store
+        self._entries: OrderedDict[CacheKey, SimulationReport] = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def store(self) -> ArtifactStore | None:
+        """The active persistent tier, if any."""
+        if self._store_spec == "auto":
+            return default_artifact_store()
+        return self._store_spec
+
     def clear(self) -> None:
+        """Drop the in-memory tier and reset counters (the disk tier survives;
+        wipe it explicitly via ``cache.store.wipe()`` / ``repro cache wipe``)."""
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()
@@ -128,15 +175,81 @@ class ReportCache:
         trace: WorkloadTrace,
         energy_table: EnergyTable | None = None,
         backend: str | None = None,
-    ) -> tuple[str, str, str, str]:
-        from ..accelerator.backends import DEFAULT_BACKEND
+    ) -> CacheKey:
+        from ..accelerator.backends import resolve_backend_name
 
         return (
             fingerprint_config(config),
             fingerprint_energy_table(energy_table or DEFAULT_ENERGY_TABLE),
             fingerprint_trace(trace),
-            backend or DEFAULT_BACKEND,
+            resolve_backend_name(backend),
         )
+
+    # -- tier plumbing ---------------------------------------------------------
+
+    def lookup_key(self, key: CacheKey) -> SimulationReport | None:
+        """Two-tier lookup by precomputed key; None (and a counted miss) if absent.
+
+        A disk hit is promoted into the in-memory tier so subsequent lookups
+        in this process stay off the filesystem.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+        store = self.store
+        if store is not None:
+            report = store.get(REPORT_ARTIFACT_KIND, artifact_key_for(key))
+            if isinstance(report, SimulationReport):
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    return self._insert_memory(key, report)
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def insert_key(self, key: CacheKey, report: SimulationReport) -> SimulationReport:
+        """Insert a computed report into both tiers; first writer wins in memory."""
+        store = self.store
+        if store is not None:
+            artifact_key = artifact_key_for(key)
+            if not store.contains(REPORT_ARTIFACT_KIND, artifact_key):
+                store.put(REPORT_ARTIFACT_KIND, artifact_key, report)
+        with self._lock:
+            return self._insert_memory(key, report)
+
+    def _insert_memory(self, key: CacheKey, report: SimulationReport) -> SimulationReport:
+        """Insert under the held lock, evicting LRU entries beyond capacity."""
+        self._entries.setdefault(key, report)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return self._entries[key]
+
+    # -- public API ------------------------------------------------------------
+
+    def lookup(
+        self,
+        config: AcceleratorConfig,
+        trace: WorkloadTrace,
+        energy_table: EnergyTable | None = None,
+        backend: str | None = None,
+    ) -> SimulationReport | None:
+        """Cached report for these inputs, or None (used by the batch scheduler)."""
+        return self.lookup_key(self.key(config, trace, energy_table, backend))
+
+    def insert(
+        self,
+        config: AcceleratorConfig,
+        trace: WorkloadTrace,
+        report: SimulationReport,
+        energy_table: EnergyTable | None = None,
+        backend: str | None = None,
+    ) -> SimulationReport:
+        """Insert an externally computed report (used by the batch scheduler)."""
+        return self.insert_key(self.key(config, trace, energy_table, backend), report)
 
     def get_or_run(
         self,
@@ -152,23 +265,16 @@ class ReportCache:
         threads missing on the same key race benignly (one result wins).
         """
         key = self.key(config, trace, energy_table, backend)
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return cached
-            self.stats.misses += 1
+        cached = self.lookup_key(key)
+        if cached is not None:
+            return cached
         report = AcceleratorSimulator(config, energy_table, backend=backend).run_trace(trace)
-        with self._lock:
-            self._entries.setdefault(key, report)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-            return self._entries[key]
+        return self.insert_key(key, report)
 
 
-#: Process-wide cache used by the pipeline and sweep helpers.
-DEFAULT_REPORT_CACHE = ReportCache()
+#: Process-wide cache used by the pipeline and sweep helpers.  Its persistent
+#: tier follows the ``REPRO_ARTIFACT_DIR`` environment variable.
+DEFAULT_REPORT_CACHE = ReportCache(store="auto")
 
 
 def simulate_cached(
@@ -179,5 +285,6 @@ def simulate_cached(
     cache: ReportCache | None = None,
 ) -> SimulationReport:
     """Run a trace through the (default) report cache."""
-    cache = cache or DEFAULT_REPORT_CACHE
+    # Explicit None check: an empty ReportCache is falsy (it has __len__).
+    cache = DEFAULT_REPORT_CACHE if cache is None else cache
     return cache.get_or_run(config, trace, energy_table, backend)

@@ -48,6 +48,20 @@ class RandomFeatureExtractor:
         self.conv2_weight = rng.normal(0.0, 1.0 / np.sqrt(mid * 9), (feature_dim // 2, mid, 3, 3))
         self.feature_dim = (feature_dim // 2) * 2
 
+    def fingerprint(self) -> str:
+        """Digest of the feature space (the actual weights), for artifact keys.
+
+        Reference statistics are only comparable within one feature space, so
+        persisted statistics are keyed by this digest rather than by the
+        constructor arguments that happened to produce it.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for weight in (self.conv1_weight, self.conv2_weight):
+            digest.update(np.ascontiguousarray(weight, dtype=np.float64).tobytes())
+        return digest.hexdigest()
+
     def extract(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Map NCHW images to feature vectors of shape (N, feature_dim)."""
         images = np.asarray(images, dtype=np.float64)
@@ -101,6 +115,18 @@ class FIDEvaluator:
     def set_reference(self, reference_images: np.ndarray) -> FeatureStatistics:
         """Compute and cache reference-set feature statistics."""
         self._reference = compute_statistics(self.extractor.extract(reference_images))
+        return self._reference
+
+    def set_reference_statistics(self, stats: FeatureStatistics) -> FeatureStatistics:
+        """Adopt precomputed reference statistics (e.g. loaded from an artifact store)."""
+        if not isinstance(stats, FeatureStatistics):
+            raise TypeError(f"expected FeatureStatistics, got {type(stats).__name__}")
+        self._reference = stats
+        return self._reference
+
+    @property
+    def reference_statistics(self) -> FeatureStatistics | None:
+        """The cached reference statistics, if :meth:`set_reference` has run."""
         return self._reference
 
     def fid(self, generated_images: np.ndarray) -> float:

@@ -1,0 +1,40 @@
+"""Fleet evaluation service: turn the pipeline into something you submit jobs to.
+
+The paper's headline results are sweeps over many (workload, policy,
+architecture) points; at fleet scale those sweeps arrive as *evaluation
+traffic*, not as one script.  This package provides the service layer:
+
+``repro.serve.jobs``
+    The job model — submit / status / result with thread-safe completion
+    events.
+``repro.serve.scheduler``
+    Request coalescing: queued simulation requests sharing an
+    :class:`~repro.accelerator.config.AcceleratorConfig` are fused into one
+    :meth:`VectorizedBackend.run_traces` cross-trace batched pass, behind the
+    two-tier report cache.
+``repro.serve.service``
+    :class:`EvaluationService` — the job queue itself: a coalescing scheduler
+    thread, a thread pool for simulation-bound work (NumPy releases the GIL)
+    and a ``ProcessPoolExecutor`` for sampling-bound work (FID generation,
+    which is GIL-limited).
+``repro.serve.workers``
+    Module-level, picklable job functions for the process pool.
+``repro.serve.cli``
+    The ``repro`` console script: ``repro sweep``, ``repro evaluate``,
+    ``repro cache``.
+"""
+
+from .jobs import Job, JobFailedError, JobKind, JobStatus
+from .scheduler import SimulationRequest, coalesce_requests, run_batched
+from .service import EvaluationService
+
+__all__ = [
+    "EvaluationService",
+    "Job",
+    "JobFailedError",
+    "JobKind",
+    "JobStatus",
+    "SimulationRequest",
+    "coalesce_requests",
+    "run_batched",
+]

@@ -1,0 +1,373 @@
+"""``repro`` — the command-line front end of the evaluation service.
+
+Three subcommands drive the fleet pipeline end to end against a persistent
+artifact directory, so repeated invocations (and concurrent workers pointing
+at the same directory) share sparsity traces, FID statistics and simulation
+reports instead of recomputing them:
+
+``repro sweep``
+    Sweep accelerator-configuration knobs over a workload's quantized trace.
+    Grid points are submitted to an :class:`EvaluationService` as simulation
+    jobs, which the scheduler coalesces into cross-trace batched passes.
+``repro evaluate``
+    The Fig. 12 hardware comparison for one workload, optionally with
+    quality (FID) evaluations fanned out to the process pool.
+``repro cache``
+    Inspect or wipe the artifact store.
+
+Every command accepts ``--artifact-dir`` (default: the ``REPRO_ARTIFACT_DIR``
+environment variable) and ``--json`` to write machine-readable results for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Sequence
+
+from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
+from ..core.artifacts import ARTIFACT_DIR_ENV_VAR, ArtifactStore, artifact_store_at
+from ..core.experiments import SweepSpec
+from ..core.pipeline import PipelineConfig, SQDMPipeline
+from ..core.policy import mixed_precision_policy
+from ..core.report_cache import ReportCache
+from ..core.sparsity import trace_to_workloads
+from ..workloads.models import workload_names
+from .service import EvaluationService
+from .workers import evaluate_quality
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(AcceleratorConfig)} - {"name", "pe"}
+
+
+def _parse_param(text: str) -> tuple[str, list[Any]]:
+    """Parse ``--param name=v1,v2,...`` into a grid entry with typed values."""
+    name, sep, values = text.partition("=")
+    name = name.strip()
+    if not sep or not values.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=V1[,V2,...], got {text!r}"
+        )
+    if name not in _CONFIG_FIELDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown AcceleratorConfig field {name!r}; sweepable fields: "
+            f"{sorted(_CONFIG_FIELDS)}"
+        )
+
+    def convert(raw: str) -> Any:
+        raw = raw.strip()
+        try:
+            return int(raw)
+        except ValueError:
+            try:
+                return float(raw)
+            except ValueError:
+                return raw
+
+    return name, [convert(v) for v in values.split(",")]
+
+
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--artifact-dir",
+        default=os.environ.get(ARTIFACT_DIR_ENV_VAR) or None,
+        help="persistent artifact directory (default: $REPRO_ARTIFACT_DIR; "
+        "omit both to run without persistence)",
+    )
+    parser.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                        help="write results as JSON to PATH")
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="cifar10", choices=workload_names())
+    parser.add_argument("--resolution", type=int, default=None,
+                        help="override image resolution (smaller = faster)")
+    parser.add_argument("--sampling-steps", type=int, default=4)
+    parser.add_argument("--trace-samples", type=int, default=1)
+    parser.add_argument("--fid-samples", type=int, default=8)
+    parser.add_argument("--reference-samples", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
+    return artifact_store_at(args.artifact_dir) if args.artifact_dir else None
+
+
+def _build_pipeline(args: argparse.Namespace, store: ArtifactStore | None,
+                    cache: ReportCache) -> SQDMPipeline:
+    from ..workloads.models import load_workload
+
+    config = PipelineConfig(
+        num_fid_samples=args.fid_samples,
+        num_reference_samples=args.reference_samples,
+        num_sampling_steps=args.sampling_steps,
+        num_trace_samples=args.trace_samples,
+        seed=args.seed,
+    )
+    workload = load_workload(args.workload, resolution=args.resolution)
+    return SQDMPipeline(workload=workload, config=config, artifacts=store, report_cache=cache)
+
+
+def _cache_summary(cache: ReportCache, store: ArtifactStore | None) -> dict[str, Any]:
+    summary: dict[str, Any] = {
+        "memory_hits": cache.stats.hits,
+        "disk_hits": cache.stats.disk_hits,
+        "misses": cache.stats.misses,
+        "hit_rate": cache.stats.hit_rate,
+    }
+    if store is not None:
+        summary["store"] = store.summary()
+        summary["store_hits"] = store.stats.hits
+        summary["store_misses"] = store.stats.misses
+    return summary
+
+
+def _write_json(path: str | None, payload: dict[str, Any]) -> None:
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def _print_cache_line(cache: ReportCache, store: ArtifactStore | None) -> None:
+    stats = cache.stats
+    line = (
+        f"report cache: {stats.hits} memory hits, {stats.disk_hits} disk hits, "
+        f"{stats.misses} simulated ({stats.hit_rate:.0%} hit rate)"
+    )
+    if store is not None:
+        line += f"; artifact store: {store.count()} artifacts at {store.root}"
+    print(line)
+
+
+# -- repro sweep ----------------------------------------------------------------
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..analysis.tables import format_table
+
+    store = _resolve_store(args)
+    cache = ReportCache(store=store)
+    pipeline = _build_pipeline(args, store, cache)
+
+    grid = dict(args.params or [("sparsity_threshold", [0.1, 0.3, 0.5])])
+    spec = SweepSpec(name=f"sweep-{args.workload}", grid=grid)
+
+    policy = mixed_precision_policy(pipeline.relu_unet(), relu=True)
+    trace = pipeline.collect_trace(relu=True)
+    quant_trace = trace_to_workloads(trace, policy)
+
+    with EvaluationService(cache=cache, max_workers=args.max_workers) as service:
+        baseline_job = service.submit_simulation(
+            dense_baseline_config(), quant_trace, backend=args.backend, label="dense-baseline"
+        )
+        case_jobs = [
+            service.submit_simulation(
+                sqdm_config(**params), quant_trace, backend=args.backend,
+                label=f"{spec.name}[{i}]",
+            )
+            for i, params in enumerate(spec.cases())
+        ]
+        baseline = baseline_job.result()
+        reports = [job.result() for job in case_jobs]
+
+    rows = []
+    results = []
+    for params, report in zip(spec.cases(), reports):
+        speedup = baseline.total_cycles / report.total_cycles if report.total_cycles else float("inf")
+        rows.append(
+            [*(params[name] for name in grid), f"{report.total_time_ms:.3f}",
+             f"{report.total_energy.total_uj:.2f}", f"{speedup:.2f}x"]
+        )
+        results.append(
+            {
+                "params": params,
+                "total_cycles": report.total_cycles,
+                "total_time_ms": report.total_time_ms,
+                "total_energy_pj": report.total_energy.total_pj,
+                "speedup_vs_dense_baseline": speedup,
+            }
+        )
+    print(
+        format_table(
+            [*grid, "Latency (ms)", "Energy (uJ)", "Speed-up vs dense"],
+            rows,
+            title=f"{spec.name}: {spec.num_cases} design points on the quantized trace",
+        )
+    )
+    _print_cache_line(cache, store)
+    _write_json(
+        args.json_path,
+        {
+            "command": "sweep",
+            "workload": args.workload,
+            "grid": {name: list(values) for name, values in grid.items()},
+            "cases": results,
+            "baseline_cycles": baseline.total_cycles,
+            "cache": _cache_summary(cache, store),
+        },
+    )
+    return 0
+
+
+# -- repro evaluate -------------------------------------------------------------
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from ..analysis.tables import format_table
+
+    store = _resolve_store(args)
+    cache = ReportCache(store=store)
+    pipeline = _build_pipeline(args, store, cache)
+
+    quality_results: list[dict[str, Any]] = []
+    with EvaluationService(cache=cache, process_workers=args.process_workers) as service:
+        quality_jobs = [
+            service.submit_sampling(
+                evaluate_quality,
+                kwargs={
+                    "workload": args.workload,
+                    "scheme": scheme,
+                    "resolution": args.resolution,
+                    "pipeline_overrides": {
+                        "num_fid_samples": args.fid_samples,
+                        "num_reference_samples": args.reference_samples,
+                        "num_sampling_steps": args.sampling_steps,
+                        "num_trace_samples": args.trace_samples,
+                        "seed": args.seed,
+                    },
+                    "artifact_dir": args.artifact_dir,
+                },
+                label=f"quality:{scheme}",
+            )
+            for scheme in args.quality or []
+        ]
+        evaluation = pipeline.evaluate_hardware()
+        quality_results = [job.result() for job in quality_jobs]
+
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ["Average activation sparsity", f"{evaluation.average_sparsity:.1%}"],
+                ["Sparsity speed-up (vs dense baseline)", f"{evaluation.sparsity_speedup:.2f}x"],
+                ["Sparsity energy saving", f"{evaluation.sparsity_energy_saving:.1%}"],
+                ["Quantization speed-up (vs FP16)", f"{evaluation.quantization_speedup:.2f}x"],
+                ["Total speed-up (vs FP16 dense)", f"{evaluation.total_speedup:.2f}x"],
+                ["SQ-DM latency", f"{evaluation.sqdm_report.total_time_ms:.3f} ms"],
+            ],
+            title=f"Hardware evaluation: {args.workload}",
+        )
+    )
+    if quality_results:
+        print(
+            format_table(
+                ["Scheme", "FID", "Compute saving", "Memory saving"],
+                [
+                    [q["scheme"], f"{q['fid']:.2f}", f"{q['compute_saving']:.1%}",
+                     f"{q['memory_saving']:.1%}"]
+                    for q in quality_results
+                ],
+                title="Quality (process-pool sampling jobs)",
+            )
+        )
+    _print_cache_line(cache, store)
+    _write_json(
+        args.json_path,
+        {
+            "command": "evaluate",
+            "workload": args.workload,
+            "hardware": {
+                "average_sparsity": evaluation.average_sparsity,
+                "sparsity_speedup": evaluation.sparsity_speedup,
+                "sparsity_energy_saving": evaluation.sparsity_energy_saving,
+                "quantization_speedup": evaluation.quantization_speedup,
+                "total_speedup": evaluation.total_speedup,
+                "sqdm_time_ms": evaluation.sqdm_report.total_time_ms,
+            },
+            "quality": quality_results,
+            "cache": _cache_summary(cache, store),
+        },
+    )
+    return 0
+
+
+# -- repro cache ----------------------------------------------------------------
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if not args.artifact_dir:
+        print(
+            f"no artifact directory: pass --artifact-dir or set {ARTIFACT_DIR_ENV_VAR}",
+            file=sys.stderr,
+        )
+        return 2
+    store = artifact_store_at(args.artifact_dir)
+    if args.action == "wipe":
+        removed = store.wipe(args.kind)
+        print(f"removed {removed} artifact(s) from {store.root}")
+        _write_json(args.json_path, {"command": "cache", "action": "wipe", "removed": removed})
+        return 0
+    summary = store.summary()
+    print(f"artifact store at {summary['root']}")
+    for kind, info in summary["kinds"].items():
+        print(f"  {kind:12s} {info['artifacts']:6d} artifact(s) {info['bytes'] / 1024:10.1f} KiB")
+    print(
+        f"  {'total':12s} {summary['total_artifacts']:6d} artifact(s) "
+        f"{summary['total_bytes'] / 1024:10.1f} KiB"
+    )
+    _write_json(args.json_path, {"command": "cache", "action": "stats", **summary})
+    return 0
+
+
+# -- entry point ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQ-DM fleet evaluation service: sweeps, evaluations and the artifact cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep accelerator knobs over a workload's quantized trace"
+    )
+    _add_scale_args(sweep)
+    _add_common_args(sweep)
+    sweep.add_argument(
+        "--param", dest="params", action="append", type=_parse_param, metavar="NAME=V1,V2",
+        help="AcceleratorConfig field and comma-separated values; repeat for a grid "
+        "(default: sparsity_threshold=0.1,0.3,0.5)",
+    )
+    sweep.add_argument("--backend", default=None, help="simulation backend name")
+    sweep.add_argument("--max-workers", type=int, default=None)
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    evaluate = sub.add_parser("evaluate", help="run the Fig. 12 hardware evaluation")
+    _add_scale_args(evaluate)
+    _add_common_args(evaluate)
+    evaluate.add_argument(
+        "--quality", nargs="*", default=None, metavar="SCHEME",
+        help="also FID-evaluate these schemes (e.g. MXINT8 INT4-VSQ MP+ReLU) "
+        "on the process pool",
+    )
+    evaluate.add_argument("--process-workers", type=int, default=None)
+    evaluate.set_defaults(fn=_cmd_evaluate)
+
+    cache = sub.add_parser("cache", help="inspect or wipe the artifact store")
+    cache.add_argument("action", choices=["stats", "wipe"])
+    cache.add_argument("--kind", default=None, help="restrict wipe to one artifact kind")
+    _add_common_args(cache)
+    cache.set_defaults(fn=_cmd_cache)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Job model of the evaluation service: submit, watch, collect.
+
+A :class:`Job` is one unit of evaluation traffic — a simulation request, a
+sampling run, or an arbitrary callable — owned by an
+:class:`~repro.serve.service.EvaluationService`.  Jobs move through
+``QUEUED -> RUNNING -> DONE | FAILED`` (or ``CANCELLED`` at service
+shutdown); completion is signalled through a :class:`threading.Event`, so any
+number of client threads can block on :meth:`Job.wait` without polling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class JobKind(str, Enum):
+    """Worker-routing class of a job.
+
+    ``SIMULATION`` jobs are coalesced by accelerator config and dispatched to
+    the thread pool (batched NumPy releases the GIL); ``SAMPLING`` jobs (FID
+    generation and other Python-bound sampling work) go to the process pool;
+    ``CALLABLE`` jobs run any function on the thread pool.
+    """
+
+    SIMULATION = "simulation"
+    SAMPLING = "sampling"
+    CALLABLE = "callable"
+
+
+class JobFailedError(RuntimeError):
+    """Raised when :meth:`Job.result` is called on a failed or cancelled job."""
+
+
+@dataclass
+class Job:
+    """One queued evaluation, with its eventual result or error."""
+
+    id: str
+    kind: JobKind
+    label: str = ""
+    status: JobStatus = JobStatus.QUEUED
+    result_value: Any = None
+    error: BaseException | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    _completed: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state (DONE, FAILED or CANCELLED)."""
+        return self._completed.is_set()
+
+    @property
+    def ok(self) -> bool:
+        return self.status is JobStatus.DONE
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job completes; False if the timeout expired first."""
+        return self._completed.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The job's result, blocking until completion.
+
+        Raises :class:`TimeoutError` if the job is still running after
+        ``timeout`` and :class:`JobFailedError` (chained to the original
+        exception) if it failed or was cancelled.
+        """
+        if not self.wait(timeout):
+            raise TimeoutError(f"job {self.id} ({self.label or self.kind.value}) still running")
+        if self.status is not JobStatus.DONE:
+            raise JobFailedError(
+                f"job {self.id} ({self.label or self.kind.value}) {self.status.value}: {self.error}"
+            ) from self.error
+        return self.result_value
+
+    # -- state transitions (service-internal) ----------------------------------
+
+    def mark_running(self) -> None:
+        self.status = JobStatus.RUNNING
+        self.started_at = time.time()
+
+    def mark_done(self, value: Any) -> None:
+        self.result_value = value
+        self.status = JobStatus.DONE
+        self.finished_at = time.time()
+        self._completed.set()
+
+    def mark_failed(self, error: BaseException) -> None:
+        self.error = error
+        self.status = JobStatus.FAILED
+        self.finished_at = time.time()
+        self._completed.set()
+
+    def mark_cancelled(self, reason: str = "service shut down") -> None:
+        self.error = RuntimeError(reason)
+        self.status = JobStatus.CANCELLED
+        self.finished_at = time.time()
+        self._completed.set()
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly status view (the ``repro`` CLI and tests use this)."""
+        return {
+            "id": self.id,
+            "kind": self.kind.value,
+            "label": self.label,
+            "status": self.status.value,
+            "error": str(self.error) if self.error is not None else None,
+        }

@@ -1,0 +1,100 @@
+"""Coalescing scheduler: fuse queued simulation requests into batched passes.
+
+A fleet sweep produces many :class:`SimulationRequest`\\ s, most of which
+share an accelerator configuration (the same SQ-DM design point evaluated on
+many traces, or shared FP16/dense baselines).  :func:`run_batched` is the
+functional core the evaluation service and the pipeline both use:
+
+1. deduplicate requests by cache key and look each unique key up in the
+   two-tier :class:`~repro.core.report_cache.ReportCache`;
+2. group the misses by (config, energy table, backend) fingerprint and
+   dispatch each group through one
+   :meth:`~repro.accelerator.simulator.AcceleratorSimulator.run_traces` call —
+   on the vectorized backend that is a single cross-trace batched NumPy pass;
+3. insert the fresh reports into both cache tiers and return everything in
+   request order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..accelerator.config import AcceleratorConfig
+from ..accelerator.energy import EnergyTable
+from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
+from ..core.report_cache import DEFAULT_REPORT_CACHE, CacheKey, ReportCache
+
+
+@dataclass
+class SimulationRequest:
+    """One trace to simulate on one accelerator configuration."""
+
+    config: AcceleratorConfig
+    trace: WorkloadTrace
+    energy_table: EnergyTable | None = None
+    backend: str | None = None
+    #: Cache key, computed once on first use (fingerprinting a big trace is
+    #: not free; the scheduler touches each request's key several times).
+    _key: CacheKey | None = field(default=None, repr=False, compare=False)
+
+    def key(self) -> CacheKey:
+        if self._key is None:
+            self._key = ReportCache.key(self.config, self.trace, self.energy_table, self.backend)
+        return self._key
+
+
+def coalesce_requests(
+    requests: list[SimulationRequest],
+) -> list[list[SimulationRequest]]:
+    """Group requests that can share one batched ``run_traces`` call.
+
+    Requests coalesce when their config, energy table and backend
+    fingerprints all match; within a group, duplicate traces are kept (the
+    cache layer deduplicates them before simulation).  Groups come back in
+    first-seen order, so dispatch stays deterministic.
+    """
+    groups: dict[tuple[str, str, str], list[SimulationRequest]] = {}
+    for request in requests:
+        config_fp, energy_fp, _, backend_name = request.key()
+        groups.setdefault((config_fp, energy_fp, backend_name), []).append(request)
+    return list(groups.values())
+
+
+def run_batched(
+    requests: list[SimulationRequest],
+    cache: ReportCache | None = None,
+) -> list[SimulationReport]:
+    """Serve simulation requests through the cache, batching the misses.
+
+    Returns one report per request, in request order.  Every unique key costs
+    at most one cache lookup and (on a miss) exactly one simulated trace;
+    misses sharing a configuration run as a single cross-trace batched pass.
+    """
+    # Explicit None check: an empty ReportCache is falsy (it has __len__).
+    cache = DEFAULT_REPORT_CACHE if cache is None else cache
+    reports: dict[CacheKey, SimulationReport] = {}
+
+    pending: list[SimulationRequest] = []
+    seen_pending: set[CacheKey] = set()
+    for request in requests:
+        key = request.key()
+        if key in reports or key in seen_pending:
+            continue
+        cached = cache.lookup_key(key)
+        if cached is not None:
+            reports[key] = cached
+        else:
+            seen_pending.add(key)
+            pending.append(request)
+
+    for group in coalesce_requests(pending):
+        batch = group
+        first = batch[0]
+        simulator = AcceleratorSimulator(
+            first.config, first.energy_table, backend=first.backend
+        )
+        batch_reports = simulator.run_traces([request.trace for request in batch])
+        for request, report in zip(batch, batch_reports):
+            reports[request.key()] = cache.insert_key(request.key(), report)
+
+    return [reports[request.key()] for request in requests]

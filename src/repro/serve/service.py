@@ -1,0 +1,295 @@
+"""The evaluation service: a job queue over the batched simulation scheduler.
+
+:class:`EvaluationService` is the in-process fleet front end.  Clients submit
+jobs (simulations, sampling runs, arbitrary callables) and get
+:class:`~repro.serve.jobs.Job` handles back immediately; a scheduler thread
+drains the queue, *coalesces* simulation jobs that share an accelerator
+configuration into single cross-trace batched passes
+(:func:`~repro.serve.scheduler.run_batched`), and routes work to the right
+pool:
+
+* **simulation / callable jobs → threads.**  The batched NumPy engine
+  releases the GIL for its array work, so a thread pool scales and shares the
+  in-process report cache.
+* **sampling jobs → processes.**  FID generation runs the Python-level U-Net
+  sampler and is GIL-bound; those jobs execute module-level functions from
+  :mod:`repro.serve.workers` in a ``ProcessPoolExecutor`` (created lazily on
+  first use).  Payloads are pickle-checked at submit time so an unpicklable
+  job fails fast with an actionable message instead of a pool traceback.
+
+Because submission batches naturally (callers enqueue a sweep's worth of jobs
+before blocking on results), coalescing needs no artificial delay: the
+scheduler grabs everything queued at each wakeup.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Mapping
+
+from ..accelerator.config import AcceleratorConfig
+from ..accelerator.energy import EnergyTable
+from ..accelerator.simulator import WorkloadTrace
+from ..core.experiments import ensure_picklable
+from ..core.report_cache import DEFAULT_REPORT_CACHE, ReportCache
+from .jobs import Job, JobKind, JobStatus
+from .scheduler import SimulationRequest, coalesce_requests, run_batched
+
+
+class EvaluationService:
+    """Job-queue front end over the cached, batched evaluation pipeline.
+
+    Parameters
+    ----------
+    cache:
+        Report cache shared by all simulation jobs (process default if None);
+        give it an :class:`~repro.core.artifacts.ArtifactStore` to persist
+        results across processes.
+    max_workers:
+        Thread-pool size for simulation/callable jobs (library default if
+        None).
+    process_workers:
+        Process-pool size for sampling jobs (library default if None).  The
+        pool is only created when the first sampling job arrives.
+    history_limit:
+        How many *completed* jobs the service keeps addressable by id.  A
+        long-lived service would otherwise pin every result (reports included)
+        forever; beyond the limit the oldest terminal jobs are forgotten.
+        Job handles returned by ``submit_*`` keep working regardless — only
+        id-based lookup of old jobs ages out.
+
+    Use as a context manager, or call :meth:`close`; shutdown cancels jobs
+    still queued and waits for running ones.
+    """
+
+    def __init__(
+        self,
+        cache: ReportCache | None = None,
+        max_workers: int | None = None,
+        process_workers: int | None = None,
+        history_limit: int = 1024,
+    ):
+        if history_limit < 0:
+            raise ValueError("history_limit must be >= 0")
+        self.history_limit = history_limit
+        # Explicit None check: an empty ReportCache is falsy (it has __len__).
+        self.cache = DEFAULT_REPORT_CACHE if cache is None else cache
+        self._threads = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="repro-serve")
+        self._process_workers = process_workers
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._jobs: dict[str, Job] = {}
+        self._queue: list[tuple[Job, Any]] = []
+        self._condition = threading.Condition()
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    # -- submission -------------------------------------------------------------
+
+    def _new_job(self, kind: JobKind, label: str) -> Job:
+        return Job(id=f"job-{next(self._ids):04d}", kind=kind, label=label)
+
+    def _retire_completed_locked(self) -> None:
+        """Forget the oldest terminal jobs beyond ``history_limit`` (lock held)."""
+        terminal = [job_id for job_id, job in self._jobs.items() if job.done]
+        for job_id in terminal[: max(0, len(terminal) - self.history_limit)]:
+            del self._jobs[job_id]
+
+    def _enqueue(self, job: Job, payload: Any) -> Job:
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("evaluation service is closed")
+            self._jobs[job.id] = job
+            self._retire_completed_locked()
+            self._queue.append((job, payload))
+            self._condition.notify()
+        return job
+
+    def submit_simulation(
+        self,
+        config: AcceleratorConfig,
+        trace: WorkloadTrace,
+        energy_table: EnergyTable | None = None,
+        backend: str | None = None,
+        label: str = "",
+    ) -> Job:
+        """Queue one trace simulation; requests sharing a config get batched."""
+        request = SimulationRequest(
+            config=config, trace=trace, energy_table=energy_table, backend=backend
+        )
+        job = self._new_job(JobKind.SIMULATION, label or f"simulate:{config.name}")
+        return self._enqueue(job, request)
+
+    def submit_sampling(
+        self,
+        fn: Callable[..., Any],
+        args: Iterable[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        label: str = "",
+    ) -> Job:
+        """Queue a sampling-bound job for the process pool.
+
+        ``fn`` must be a module-level function and the arguments plain data
+        (see :mod:`repro.serve.workers`); both are verified here so mistakes
+        fail at submission, not deep inside the executor.
+        """
+        payload = (fn, tuple(args), dict(kwargs or {}))
+        ensure_picklable(
+            payload,
+            "sampling jobs execute in worker processes, so the function and its "
+            "arguments must be picklable: pass a module-level function (e.g. from "
+            "repro.serve.workers) and plain-data arguments, not lambdas, bound "
+            "methods or live model objects",
+        )
+        job = self._new_job(JobKind.SAMPLING, label or f"sampling:{getattr(fn, '__name__', fn)}")
+        return self._enqueue(job, payload)
+
+    def submit_callable(
+        self,
+        fn: Callable[..., Any],
+        args: Iterable[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        label: str = "",
+    ) -> Job:
+        """Queue an arbitrary callable on the thread pool."""
+        payload = (fn, tuple(args), dict(kwargs or {}))
+        job = self._new_job(JobKind.CALLABLE, label or f"call:{getattr(fn, '__name__', fn)}")
+        return self._enqueue(job, payload)
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Job:
+        """Convenience form of :meth:`submit_callable`."""
+        return self.submit_callable(fn, args=args, kwargs=kwargs)
+
+    # -- inspection -------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        with self._condition:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        with self._condition:
+            return list(self._jobs.values())
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.job(job_id).status
+
+    def result(self, job_id: str, timeout: float | None = None) -> Any:
+        """Block for one job's result (raises on failure; see :meth:`Job.result`)."""
+        return self.job(job_id).result(timeout)
+
+    def wait_all(self, jobs: Iterable[Job] | None = None, timeout: float | None = None) -> bool:
+        """Wait for the given jobs (default: all submitted); False on timeout."""
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        for job in list(jobs) if jobs is not None else self.jobs():
+            remaining = None if deadline is None else max(0.0, deadline - _time.monotonic())
+            if not job.wait(remaining):
+                return False
+        return True
+
+    # -- scheduler --------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait()
+                if self._closed and not self._queue:
+                    return
+                drained, self._queue = self._queue, []
+            try:
+                self._dispatch(drained)
+            except Exception as exc:  # pragma: no cover - defensive; _dispatch guards itself
+                for job, _ in drained:
+                    if not job.done:
+                        job.mark_failed(exc)
+
+    def _dispatch(self, drained: list[tuple[Job, Any]]) -> None:
+        simulations: list[tuple[Job, SimulationRequest]] = []
+        for job, payload in drained:
+            if job.kind is JobKind.SIMULATION:
+                simulations.append((job, payload))
+            elif job.kind is JobKind.SAMPLING:
+                self._dispatch_pool_job(job, payload, self._processes())
+            else:
+                self._dispatch_pool_job(job, payload, self._threads)
+
+        # Coalesce the simulation jobs drained together: each config/energy/
+        # backend group becomes one batched thread-pool task, so groups run in
+        # parallel while traces inside a group share a single NumPy pass.
+        requests_by_id = {id(request): job for job, request in simulations}
+        for group in coalesce_requests([request for _, request in simulations]):
+            group_jobs = [requests_by_id[id(request)] for request in group]
+            self._threads.submit(self._run_simulation_group, group_jobs, group)
+
+    def _run_simulation_group(self, jobs: list[Job], requests: list[SimulationRequest]) -> None:
+        for job in jobs:
+            job.mark_running()
+        try:
+            reports = run_batched(requests, cache=self.cache)
+        except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
+            for job in jobs:
+                job.mark_failed(exc)
+            return
+        for job, report in zip(jobs, reports):
+            job.mark_done(report)
+
+    def _dispatch_pool_job(self, job: Job, payload: Any, pool: Any) -> None:
+        fn, args, kwargs = payload
+
+        def complete(future: Future) -> None:
+            error = future.exception()
+            if error is not None:
+                job.mark_failed(error)
+            else:
+                job.mark_done(future.result())
+
+        job.mark_running()
+        try:
+            future = pool.submit(fn, *args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - e.g. submitting to a broken pool
+            job.mark_failed(exc)
+            return
+        future.add_done_callback(complete)
+
+    def _processes(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(max_workers=self._process_workers)
+        return self._process_pool
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self, cancel_queued: bool = False) -> None:
+        """Shut the service down, waiting for in-flight work.
+
+        ``cancel_queued=True`` marks still-queued jobs CANCELLED instead of
+        running them.
+        """
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            if cancel_queued:
+                for job, _ in self._queue:
+                    job.mark_cancelled("cancelled at service shutdown")
+                self._queue = []
+            self._condition.notify_all()
+        self._scheduler.join()
+        self._threads.shutdown(wait=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,87 @@
+"""Process-pool job functions for sampling-bound evaluation work.
+
+FID generation runs the NumPy U-Net sampler layer by layer from Python, so —
+unlike the vectorized simulator — it holds the GIL for most of its runtime
+and gains nothing from threads.  The evaluation service therefore routes
+sampling-bound jobs to a ``ProcessPoolExecutor``, which requires the job
+functions to live at module level (picklable by reference) and to exchange
+only plain, picklable values: workload names and knob dicts in, result dicts
+out.  Each worker process builds its own pipeline; the persistent artifact
+store (``REPRO_ARTIFACT_DIR`` or the explicit ``artifact_dir`` argument)
+is what lets workers share FID reference statistics and sparsity traces
+instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _build_pipeline(
+    workload: str,
+    resolution: int | None = None,
+    pipeline_overrides: dict[str, Any] | None = None,
+    artifact_dir: str | None = None,
+):
+    from ..core.pipeline import PipelineConfig, SQDMPipeline
+    from ..workloads.models import load_workload
+
+    config = PipelineConfig(**(pipeline_overrides or {}))
+    loaded = load_workload(workload, resolution=resolution)
+    artifacts: Any = "auto"
+    if artifact_dir:
+        from ..core.artifacts import artifact_store_at
+
+        artifacts = artifact_store_at(artifact_dir)
+    return SQDMPipeline(workload=loaded, config=config, artifacts=artifacts)
+
+
+def evaluate_quality(
+    workload: str,
+    scheme: str,
+    resolution: int | None = None,
+    pipeline_overrides: dict[str, Any] | None = None,
+    artifact_dir: str | None = None,
+) -> dict[str, Any]:
+    """Generate images under one Table I/II scheme and score them with FID.
+
+    ``scheme`` is a Table I format name ("FP32", "INT8", "MXINT8",
+    "INT4-VSQ", ...) or one of the mixed-precision schemes ``"MP-only"`` /
+    ``"MP+ReLU"``.  Returns a plain dict so results cross the process
+    boundary without dragging model objects along.
+    """
+    pipeline = _build_pipeline(workload, resolution, pipeline_overrides, artifact_dir)
+    if scheme in ("MP-only", "MP+ReLU"):
+        evaluation = pipeline.evaluate_mixed_precision(relu=scheme == "MP+ReLU")
+    else:
+        evaluation = pipeline.evaluate_format(scheme)
+    return {
+        "workload": evaluation.workload,
+        "scheme": evaluation.scheme,
+        "fid": evaluation.fid,
+        "compute_saving": evaluation.compute_saving,
+        "memory_saving": evaluation.memory_saving,
+        "relu_based": evaluation.relu_based,
+    }
+
+
+def evaluate_hardware(
+    workload: str,
+    resolution: int | None = None,
+    pipeline_overrides: dict[str, Any] | None = None,
+    artifact_dir: str | None = None,
+) -> dict[str, Any]:
+    """Run the Fig. 12 hardware comparison for one workload, returning summary numbers."""
+    pipeline = _build_pipeline(workload, resolution, pipeline_overrides, artifact_dir)
+    evaluation = pipeline.evaluate_hardware()
+    return {
+        "workload": evaluation.workload,
+        "average_sparsity": evaluation.average_sparsity,
+        "sparsity_speedup": evaluation.sparsity_speedup,
+        "sparsity_energy_saving": evaluation.sparsity_energy_saving,
+        "quantization_speedup": evaluation.quantization_speedup,
+        "total_speedup": evaluation.total_speedup,
+        "sqdm_cycles": evaluation.sqdm_report.total_cycles,
+        "sqdm_energy_pj": evaluation.sqdm_report.total_energy.total_pj,
+        "sqdm_time_ms": evaluation.sqdm_report.total_time_ms,
+    }

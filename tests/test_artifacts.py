@@ -1,0 +1,202 @@
+"""Tests for the persistent artifact store and the two-tier report cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    dense_baseline_config,
+    random_workload,
+    sqdm_config,
+)
+from repro.core.artifacts import (
+    ArtifactStore,
+    artifact_store_at,
+    default_artifact_store,
+)
+from repro.core.report_cache import ReportCache, simulate_cached
+from repro.serve.scheduler import SimulationRequest, run_batched
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+@pytest.fixture()
+def small_trace():
+    return [
+        [random_workload(in_channels=16, spatial=4, seed=s * 3 + l, name=f"l{l}") for l in range(2)]
+        for s in range(2)
+    ]
+
+
+class TestArtifactStore:
+    def test_roundtrip(self, store):
+        key = ArtifactStore.key_for("some", "fingerprints")
+        payload = {"cycles": 1.5, "array": np.arange(4.0)}
+        store.put("report", key, payload)
+        loaded = store.get("report", key)
+        assert loaded["cycles"] == 1.5
+        assert np.array_equal(loaded["array"], np.arange(4.0))
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_missing_is_default(self, store):
+        assert store.get("report", "0" * 64) is None
+        assert store.get("report", "0" * 64, default="fallback") == "fallback"
+        assert store.stats.misses == 2 and store.stats.corrupt_discarded == 0
+
+    def test_key_for_is_stable_and_unambiguous(self):
+        assert ArtifactStore.key_for("a", "b") == ArtifactStore.key_for("a", "b")
+        assert ArtifactStore.key_for("ab", "c") != ArtifactStore.key_for("a", "bc")
+        with pytest.raises(ValueError):
+            ArtifactStore.key_for()
+
+    def test_rejects_path_escaping_names(self, store):
+        with pytest.raises(ValueError):
+            store.path_for("../evil", "a" * 64)
+        with pytest.raises(ValueError):
+            store.path_for("report", "../../etc/passwd")
+
+    def test_overwrite_is_atomic_replace(self, store):
+        key = ArtifactStore.key_for("x")
+        store.put("report", key, "first")
+        store.put("report", key, "second")
+        assert store.get("report", key) == "second"
+        assert store.count("report") == 1
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate", "garbage", "bad_magic", "bit_flip"],
+    )
+    def test_corrupt_file_recovers_as_miss(self, store, corruption):
+        """A damaged artifact is a miss (recompute), never a crash."""
+        key = ArtifactStore.key_for("doomed")
+        store.put("report", key, {"value": 42})
+        path = store.path_for("report", key)
+        blob = path.read_bytes()
+        if corruption == "truncate":
+            path.write_bytes(blob[: len(blob) // 2])
+        elif corruption == "garbage":
+            path.write_bytes(b"not an artifact at all")
+        elif corruption == "bad_magic":
+            path.write_bytes(b"XXXX" + blob[4:])
+        else:  # bit_flip in the payload
+            mutated = bytearray(blob)
+            mutated[-1] ^= 0xFF
+            path.write_bytes(bytes(mutated))
+        assert store.get("report", key) is None
+        assert store.stats.corrupt_discarded == 1
+        assert not path.exists()  # quarantined, so the next read is a clean miss
+
+    def test_enumeration_and_wipe(self, store):
+        for i in range(3):
+            store.put("report", ArtifactStore.key_for(f"r{i}"), i)
+        store.put("trace", ArtifactStore.key_for("t0"), "trace")
+        assert store.kinds() == ["report", "trace"]
+        assert store.count("report") == 3 and store.count() == 4
+        assert len(store.keys("report")) == 3
+        summary = store.summary()
+        assert summary["total_artifacts"] == 4 and summary["total_bytes"] > 0
+        assert store.wipe("report") == 3
+        assert store.count() == 1
+        assert store.wipe() == 1
+        assert store.count() == 0
+
+    def test_store_registry_shares_instances(self, tmp_path):
+        a = artifact_store_at(tmp_path / "shared")
+        b = artifact_store_at(tmp_path / "shared")
+        assert a is b
+
+    def test_default_store_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        assert default_artifact_store() is None
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "env-store"))
+        store = default_artifact_store()
+        assert store is not None
+        assert store.root == (tmp_path / "env-store").resolve()
+
+
+class TestTwoTierReportCache:
+    def test_disk_tier_survives_new_cache_instance(self, store, small_trace):
+        first = ReportCache(store=store)
+        report = first.get_or_run(sqdm_config(), small_trace)
+        assert first.stats.misses == 1
+
+        second = ReportCache(store=store)  # fresh memory tier, same disk
+        loaded = second.get_or_run(sqdm_config(), small_trace)
+        assert second.stats.disk_hits == 1 and second.stats.misses == 0
+        assert loaded.total_cycles == report.total_cycles
+        # promoted to memory: the next lookup does not touch the disk tier
+        second.get_or_run(sqdm_config(), small_trace)
+        assert second.stats.hits == 1
+
+    def test_corrupt_report_artifact_recomputes(self, store, small_trace):
+        cache = ReportCache(store=store)
+        cache.get_or_run(sqdm_config(), small_trace)
+        (artifact_path,) = [store.path_for("report", k) for k in store.keys("report")]
+        artifact_path.write_bytes(b"garbage" * 100)
+
+        fresh = ReportCache(store=store)
+        report = fresh.get_or_run(sqdm_config(), small_trace)
+        assert fresh.stats.misses == 1 and fresh.stats.disk_hits == 0
+        assert store.stats.corrupt_discarded == 1
+        direct = AcceleratorSimulator(sqdm_config()).run_trace(small_trace)
+        assert report.total_cycles == direct.total_cycles
+
+    def test_simulate_cached_respects_explicit_empty_cache(self, store, small_trace):
+        """Regression: an empty ReportCache is falsy, but must still be used."""
+        cache = ReportCache(store=store)
+        simulate_cached(sqdm_config(), small_trace, cache=cache)
+        assert cache.stats.misses == 1
+
+    def test_invalid_store_spec_rejected(self):
+        with pytest.raises(ValueError, match="'auto'"):
+            ReportCache(store="yes-please")
+
+
+class TestCrossProcessReuse:
+    def test_second_process_rerun_hits_store_without_resimulating(self, store, small_trace):
+        """Acceptance: a re-run from a fresh process gets >=90% artifact-store
+        hits and performs zero simulations."""
+        configs = [sqdm_config(sparsity_threshold=t) for t in (0.1, 0.2, 0.3, 0.4, 0.5)]
+        requests = [SimulationRequest(c, small_trace) for c in configs] + [
+            SimulationRequest(dense_baseline_config(), small_trace)
+        ]
+
+        first_process = ReportCache(store=store)
+        first_reports = run_batched(requests, cache=first_process)
+        assert first_process.stats.misses == len(requests)
+
+        # A "second process": fresh memory cache, fresh store instance over
+        # the same directory, and any attempt to simulate is an error.
+        second_store = ArtifactStore(store.root)
+        second_process = ReportCache(store=second_store)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("re-run should not simulate anything")
+
+        original_trace, original_traces = (
+            AcceleratorSimulator.run_trace,
+            AcceleratorSimulator.run_traces,
+        )
+        AcceleratorSimulator.run_trace = forbidden
+        AcceleratorSimulator.run_traces = forbidden
+        try:
+            second_reports = run_batched(
+                [SimulationRequest(c, small_trace) for c in configs]
+                + [SimulationRequest(dense_baseline_config(), small_trace)],
+                cache=second_process,
+            )
+        finally:
+            AcceleratorSimulator.run_trace = original_trace
+            AcceleratorSimulator.run_traces = original_traces
+
+        stats = second_process.stats
+        assert stats.misses == 0
+        assert (stats.disk_hits + stats.hits) / stats.requests >= 0.9
+        for before, after in zip(first_reports, second_reports):
+            assert after.total_cycles == before.total_cycles
+            assert after.total_energy.total_pj == before.total_energy.total_pj

@@ -140,6 +140,78 @@ class TestReportCache:
         cache.clear()
         assert len(cache) == 0 and cache.stats.requests == 0
 
+    def test_lru_eviction_order_respects_recency(self, small_trace):
+        """A hit refreshes recency: the least-recently-*used* entry goes, not
+        the least-recently-inserted one."""
+        configs = [sqdm_config(sparsity_threshold=t) for t in (0.1, 0.2, 0.3)]
+        cache = ReportCache(max_entries=3)
+        for config in configs:
+            cache.get_or_run(config, small_trace)
+        assert cache.stats.misses == 3
+
+        cache.get_or_run(configs[0], small_trace)  # refresh the oldest entry
+        assert cache.stats.hits == 1
+
+        # Inserting a fourth entry must now evict configs[1] (the LRU), not
+        # configs[0] (oldest inserted but recently used).
+        cache.get_or_run(sqdm_config(sparsity_threshold=0.4), small_trace)
+        assert len(cache) == 3
+        cache.get_or_run(configs[0], small_trace)
+        assert cache.stats.misses == 4  # still cached -> hit
+        cache.get_or_run(configs[1], small_trace)
+        assert cache.stats.misses == 5  # evicted -> recomputed
+
+    def test_concurrent_get_or_run_same_key_returns_one_report(self, small_trace):
+        """Racing threads on one key all get the same object; stats balance."""
+        cache = ReportCache()
+        num_threads = 8
+        barrier = threading.Barrier(num_threads, timeout=10)
+        results: list = [None] * num_threads
+        errors: list = []
+
+        def worker(slot: int) -> None:
+            try:
+                barrier.wait()  # maximize lookup/insert overlap
+                results[slot] = cache.get_or_run(sqdm_config(), small_trace)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        first = results[0]
+        assert all(report is first for report in results)
+        assert len(cache) == 1
+        assert cache.stats.requests == num_threads
+        assert cache.stats.hits + cache.stats.misses == num_threads
+        assert 1 <= cache.stats.misses <= num_threads
+
+    def test_concurrent_distinct_keys_all_cached(self, small_trace):
+        """Racing threads on different keys never clobber each other."""
+        cache = ReportCache()
+        thresholds = [round(0.1 * i, 1) for i in range(1, 7)]
+        barrier = threading.Barrier(len(thresholds), timeout=10)
+
+        def worker(threshold: float) -> None:
+            barrier.wait()
+            cache.get_or_run(sqdm_config(sparsity_threshold=threshold), small_trace)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in thresholds]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(cache) == len(thresholds)
+        assert cache.stats.misses == len(thresholds)
+        for threshold in thresholds:
+            cache.get_or_run(sqdm_config(sparsity_threshold=threshold), small_trace)
+        assert cache.stats.hits == len(thresholds)
+
 
 class TestFingerprints:
     def test_config_fingerprint_sensitive_to_fields(self):

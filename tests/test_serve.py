@@ -1,0 +1,407 @@
+"""Tests for the fleet evaluation service: batched simulation, jobs, CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    dense_baseline_config,
+    random_workload,
+    sqdm_config,
+)
+from repro.accelerator.backends import resolve_backend_name
+from repro.core.artifacts import ArtifactStore
+from repro.core.experiments import run_sweep
+from repro.core.report_cache import ReportCache
+from repro.serve import (
+    EvaluationService,
+    JobFailedError,
+    JobStatus,
+    SimulationRequest,
+    coalesce_requests,
+    run_batched,
+)
+from repro.serve.cli import main as cli_main
+
+
+def make_trace(seed: int, steps: int = 3, layers: int = 2, in_channels: int = 24):
+    return [
+        [
+            random_workload(
+                in_channels=in_channels,
+                spatial=6,
+                seed=seed * 100 + 10 * s + l,
+                name=f"layer{l}",
+            )
+            for l in range(layers)
+        ]
+        for s in range(steps)
+    ]
+
+
+# -- cross-trace batched backend entry point ------------------------------------
+
+
+class TestRunTraces:
+    def test_batched_reports_bit_identical_to_per_trace_runs(self):
+        """Acceptance: run_traces batches >=2 traces in one call and matches
+        per-trace runs to (better than) 1e-9 relative."""
+        config = sqdm_config(sparsity_update_period=2)
+        traces = [make_trace(seed) for seed in range(4)]
+        batched = AcceleratorSimulator(config).run_traces(traces)
+        assert len(batched) == 4
+        for trace, report in zip(traces, batched):
+            single = AcceleratorSimulator(config).run_trace(trace)
+            assert report.total_cycles == single.total_cycles  # bit-identical
+            assert report.total_energy.total_pj == single.total_energy.total_pj
+            assert len(report.step_results) == len(single.step_results)
+            for batched_step, single_step in zip(report.step_results, single.step_results):
+                assert batched_step.cycles == single_step.cycles
+                for batched_layer, single_layer in zip(
+                    batched_step.layer_results, single_step.layer_results
+                ):
+                    assert batched_layer.cycles == single_layer.cycles
+                    assert batched_layer.energy.total_pj == single_layer.energy.total_pj
+
+    def test_detector_schedule_isolated_per_trace(self):
+        """Stale-classification reuse must not leak between batch members."""
+        config = sqdm_config(sparsity_update_period=3)
+        trace = make_trace(7, steps=5)
+        simulator = AcceleratorSimulator(config)
+        single = simulator.run_trace(trace)
+        single_updates = simulator.detector_stats.updates_performed
+        batched = simulator.run_traces([trace, trace, trace])
+        for report in batched:
+            assert report.total_cycles == single.total_cycles
+        # batch totals are the sum of per-trace detector activity
+        assert simulator.detector_stats.updates_performed == 3 * single_updates
+
+    def test_empty_batch_and_empty_members(self):
+        simulator = AcceleratorSimulator(sqdm_config())
+        assert simulator.run_traces([]) == []
+        reports = simulator.run_traces([[], make_trace(1), [[]]])
+        assert reports[0].total_cycles == 0.0 and reports[0].step_results == []
+        assert reports[1].total_cycles > 0.0
+        assert reports[2].total_cycles == 0.0 and len(reports[2].step_results) == 1
+
+    def test_reference_backend_runs_traces_sequentially(self):
+        traces = [make_trace(seed) for seed in range(2)]
+        reference = AcceleratorSimulator(sqdm_config(), backend="reference")
+        reports = reference.run_traces(traces)
+        for trace, report in zip(traces, reports):
+            single = AcceleratorSimulator(sqdm_config(), backend="reference").run_trace(trace)
+            assert report.total_cycles == pytest.approx(single.total_cycles, rel=1e-12)
+
+    def test_mixed_precision_batch(self):
+        """Traces with different per-layer precisions batch correctly."""
+        config = sqdm_config()
+        lowp = make_trace(3)
+        highp = [[w.replace(weight_bits=16, act_bits=16) for w in step] for step in lowp]
+        batched = AcceleratorSimulator(config).run_traces([lowp, highp])
+        assert batched[0].total_cycles == AcceleratorSimulator(config).run_trace(lowp).total_cycles
+        assert batched[1].total_cycles == AcceleratorSimulator(config).run_trace(highp).total_cycles
+
+
+# -- coalescing scheduler --------------------------------------------------------
+
+
+class TestRunBatched:
+    def test_results_in_request_order_and_coalesced(self, monkeypatch):
+        trace_a, trace_b = make_trace(1), make_trace(2)
+        sqdm, dense = sqdm_config(), dense_baseline_config()
+        requests = [
+            SimulationRequest(sqdm, trace_a),
+            SimulationRequest(dense, trace_a),
+            SimulationRequest(sqdm, trace_b),
+            SimulationRequest(dense, trace_b),
+        ]
+
+        calls: list[int] = []
+        original = AcceleratorSimulator.run_traces
+
+        def counting(self, traces):
+            calls.append(len(traces))
+            return original(self, traces)
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        cache = ReportCache()
+        reports = run_batched(requests, cache=cache)
+
+        # two groups (sqdm, dense), each batching two traces in one call
+        assert sorted(calls) == [2, 2]
+        for request, report in zip(requests, reports):
+            expected = AcceleratorSimulator(request.config).run_trace(request.trace)
+            assert report.total_cycles == expected.total_cycles
+            assert report.config_name == request.config.name
+
+    def test_duplicate_requests_simulated_once(self):
+        trace = make_trace(5)
+        cache = ReportCache()
+        requests = [SimulationRequest(sqdm_config(), trace) for _ in range(3)]
+        reports = run_batched(requests, cache=cache)
+        assert cache.stats.misses == 1
+        assert reports[0] is reports[1] is reports[2]
+
+    def test_cached_requests_not_resimulated(self):
+        trace = make_trace(6)
+        cache = ReportCache()
+        first = run_batched([SimulationRequest(sqdm_config(), trace)], cache=cache)
+        second = run_batched([SimulationRequest(sqdm_config(), trace)], cache=cache)
+        assert second[0] is first[0]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_coalesce_groups_by_config_energy_backend(self):
+        trace = make_trace(7)
+        groups = coalesce_requests(
+            [
+                SimulationRequest(sqdm_config(), trace),
+                SimulationRequest(sqdm_config(), make_trace(8)),
+                SimulationRequest(dense_baseline_config(), trace),
+                SimulationRequest(sqdm_config(), trace, backend="reference"),
+            ]
+        )
+        assert [len(g) for g in groups] == [2, 1, 1]
+
+
+# -- evaluation service ----------------------------------------------------------
+
+
+def _module_level_square(x):
+    return x * x
+
+
+def _module_level_boom():
+    raise RuntimeError("boom")
+
+
+class TestEvaluationService:
+    def test_simulation_jobs_coalesce_and_complete(self, monkeypatch):
+        calls: list[int] = []
+        original = AcceleratorSimulator.run_traces
+
+        def counting(self, traces):
+            calls.append(len(traces))
+            return original(self, traces)
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+
+        traces = [make_trace(seed) for seed in range(4)]
+        cache = ReportCache()
+        with EvaluationService(cache=cache, max_workers=2) as service:
+            jobs = [service.submit_simulation(sqdm_config(), trace) for trace in traces]
+            reports = [job.result(timeout=60) for job in jobs]
+        for trace, report in zip(traces, reports):
+            expected = AcceleratorSimulator(sqdm_config()).run_trace(trace)
+            assert report.total_cycles == expected.total_cycles
+        # all four unique traces were simulated, in fewer batched calls
+        assert sum(calls) == 4 and len(calls) < 4
+
+    def test_callable_jobs_and_status(self):
+        with EvaluationService(max_workers=2) as service:
+            job = service.submit(_module_level_square, 7)
+            assert job.result(timeout=30) == 49
+            assert service.status(job.id) is JobStatus.DONE
+            assert service.job(job.id).summary()["status"] == "done"
+            with pytest.raises(KeyError):
+                service.job("job-9999")
+
+    def test_failed_job_reports_error(self):
+        with EvaluationService(max_workers=1) as service:
+            job = service.submit(_module_level_boom)
+            job.wait(30)
+            assert job.status is JobStatus.FAILED
+            with pytest.raises(JobFailedError, match="boom"):
+                job.result()
+
+    def test_sampling_job_runs_in_separate_process(self):
+        with EvaluationService(process_workers=1) as service:
+            job = service.submit_sampling(os.getpid)
+            worker_pid = job.result(timeout=120)
+        assert worker_pid != os.getpid()
+
+    def test_unpicklable_sampling_job_fails_fast(self):
+        with EvaluationService() as service:
+            with pytest.raises(ValueError, match="picklable"):
+                service.submit_sampling(lambda: 1)
+        # nothing was queued, so the failure cannot have come from the pool
+        assert service.jobs() == []
+
+    def test_submit_after_close_rejected(self):
+        service = EvaluationService(max_workers=1)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(_module_level_square, 2)
+
+    def test_wait_all(self):
+        with EvaluationService(max_workers=2) as service:
+            jobs = [service.submit(_module_level_square, i) for i in range(5)]
+            assert service.wait_all(jobs, timeout=60)
+            assert [job.result_value for job in jobs] == [0, 1, 4, 9, 16]
+
+    def test_completed_job_history_is_bounded(self):
+        """A long-lived service must not pin every finished job forever."""
+        with EvaluationService(max_workers=2, history_limit=3) as service:
+            jobs = [service.submit(_module_level_square, i) for i in range(8)]
+            assert service.wait_all(jobs, timeout=60)
+            final = service.submit(_module_level_square, 99)  # triggers pruning
+            assert final.result(timeout=30) == 99 * 99
+            assert len(service.jobs()) <= 4  # 3 retained terminal + the new one
+            # retired jobs lose id-based lookup, but the handles still work
+            assert jobs[0].result_value == 0
+            with pytest.raises(KeyError):
+                service.job(jobs[0].id)
+
+
+class TestServiceExecutorSweeps:
+    def test_run_sweep_on_ephemeral_service(self):
+        result = run_sweep(lambda a, b: a * 10 + b, {"a": [1, 2], "b": [3, 4]}, executor="service")
+        assert result.values() == [13, 14, 23, 24]
+
+    def test_run_sweep_on_shared_service_captures_errors(self):
+        def flaky(i):
+            if i == 1:
+                raise RuntimeError("nope")
+            return i
+
+        with EvaluationService(max_workers=2) as service:
+            result = run_sweep(
+                flaky, {"i": [0, 1, 2]}, executor="service", service=service, on_error="capture"
+            )
+        assert [case.ok for case in result.cases] == [True, False, True]
+        assert result.cases[0].value == 0 and result.cases[2].value == 2
+
+
+# -- satellite guards ------------------------------------------------------------
+
+
+class TestEagerBackendValidation:
+    def test_env_var_backend_validated_with_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "warp_drive")
+        with pytest.raises(ValueError, match="REPRO_SIM_BACKEND") as excinfo:
+            AcceleratorSimulator(sqdm_config())
+        assert "reference" in str(excinfo.value) and "vectorized" in str(excinfo.value)
+
+    def test_resolve_backend_name_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        assert resolve_backend_name() == "vectorized"
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "reference")
+        assert resolve_backend_name() == "reference"
+        assert resolve_backend_name("vectorized") == "vectorized"
+
+    def test_explicit_argument_validated(self):
+        with pytest.raises(ValueError, match="backend argument"):
+            resolve_backend_name("cycle_accurate")
+
+    def test_cache_key_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            ReportCache.key(sqdm_config(), [], backend="warp_drive")
+
+
+class TestProcessSweepGuard:
+    def test_unpicklable_case_function_fails_fast(self):
+        captured = []  # makes the lambda a closure over a local -> unpicklable
+        with pytest.raises(ValueError, match="picklable case function"):
+            run_sweep(lambda i: captured.append(i), {"i": [0, 1]}, executor="process")
+
+    def test_module_level_function_still_works(self):
+        result = run_sweep(_module_level_square, {"x": [2, 3]}, executor="process")
+        assert result.values() == [4, 9]
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def cli_scale_args(tmp_path):
+    return [
+        "--workload", "cifar10",
+        "--resolution", "8",
+        "--sampling-steps", "2",
+        "--trace-samples", "1",
+        "--reference-samples", "16",
+        "--fid-samples", "4",
+        "--artifact-dir", str(tmp_path / "artifacts"),
+    ]
+
+
+class TestCLI:
+    def test_sweep_cold_then_warm_reuses_artifacts(self, tmp_path, cli_scale_args, capsys):
+        json_cold = tmp_path / "cold.json"
+        json_warm = tmp_path / "warm.json"
+        sweep_args = ["sweep", *cli_scale_args, "--param", "sparsity_threshold=0.2,0.4"]
+
+        assert cli_main([*sweep_args, "--json", str(json_cold)]) == 0
+        cold = json.loads(json_cold.read_text())
+        assert cold["cache"]["misses"] > 0
+        assert [case["params"]["sparsity_threshold"] for case in cold["cases"]] == [0.2, 0.4]
+        for case in cold["cases"]:
+            assert case["speedup_vs_dense_baseline"] > 0
+
+        # The CLI builds a fresh in-memory cache per invocation, so this is
+        # the cross-process path: everything must come from the store.
+        assert cli_main([*sweep_args, "--json", str(json_warm)]) == 0
+        warm = json.loads(json_warm.read_text())
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["hit_rate"] >= 0.9
+        assert warm["cases"] == cold["cases"]
+        assert "design points" in capsys.readouterr().out
+
+    def test_evaluate_writes_summary_json(self, tmp_path, cli_scale_args):
+        json_path = tmp_path / "eval.json"
+        assert cli_main(["evaluate", *cli_scale_args, "--json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["hardware"]["total_speedup"] > 1.0
+        assert payload["quality"] == []
+
+    def test_cache_stats_and_wipe(self, tmp_path, cli_scale_args, capsys):
+        assert cli_main(["sweep", *cli_scale_args, "--param", "sparsity_threshold=0.3"]) == 0
+        artifact_dir = cli_scale_args[-1]
+        assert cli_main(["cache", "stats", "--artifact-dir", artifact_dir]) == 0
+        assert "report" in capsys.readouterr().out
+        assert cli_main(["cache", "wipe", "--artifact-dir", artifact_dir]) == 0
+        assert ArtifactStore(artifact_dir).count() == 0
+
+    def test_cache_without_dir_errors(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        assert cli_main(["cache", "stats"]) == 2
+        assert "artifact" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_param(self, cli_scale_args):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", *cli_scale_args, "--param", "warp_factor=9"])
+
+
+class TestConcurrentServiceTraffic:
+    def test_many_clients_submitting_simultaneously(self):
+        """Service survives a burst of mixed traffic from several threads."""
+        cache = ReportCache()
+        traces = [make_trace(seed) for seed in range(3)]
+        with EvaluationService(cache=cache, max_workers=4) as service:
+            jobs: list = []
+            jobs_lock = threading.Lock()
+
+            def client(seed: int) -> None:
+                submitted = [
+                    service.submit_simulation(sqdm_config(), traces[seed % 3]),
+                    service.submit(_module_level_square, seed),
+                ]
+                with jobs_lock:
+                    jobs.extend(submitted)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert service.wait_all(jobs, timeout=120)
+        assert all(job.ok for job in jobs)
+        # Three unique traces exist.  Concurrent drains may race benignly on a
+        # key (both simulate, one insert wins), so misses can exceed 3 but
+        # never the simulation-job count, and the cache stays deduplicated.
+        assert 3 <= cache.stats.misses <= 6
+        assert len(cache) == 3
