@@ -26,9 +26,19 @@ Robustness contract:
   fails verification, is quarantined (deleted) and reported as a miss, so the
   caller recomputes instead of crashing.
 
+* **Bounded disk usage** — a store may carry an eviction policy: a
+  ``max_bytes`` size cap (LRU by last use, tracked via file access times
+  refreshed on every hit) and/or a ``ttl_seconds`` age limit.  Both run
+  automatically after every write and on demand via :meth:`ArtifactStore.evict`
+  (``repro cache evict`` from the command line), so a long-running evaluation
+  server does not grow its artifact directory without bound.  Evicting an
+  entry is always safe: the caches treat the missing artifact as a miss and
+  recompute.
+
 Set the ``REPRO_ARTIFACT_DIR`` environment variable to give the process-wide
 report cache (and :class:`~repro.core.pipeline.SQDMPipeline`) a default
-store; see :func:`default_artifact_store`.
+store; see :func:`default_artifact_store`.  ``REPRO_ARTIFACT_MAX_BYTES`` and
+``REPRO_ARTIFACT_TTL`` (seconds) provide default eviction caps the same way.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -51,6 +62,22 @@ _SUFFIX = ".art"
 #: Environment variable naming the default artifact directory.
 ARTIFACT_DIR_ENV_VAR = "REPRO_ARTIFACT_DIR"
 
+#: Environment variables providing default eviction caps for new stores.
+MAX_BYTES_ENV_VAR = "REPRO_ARTIFACT_MAX_BYTES"
+TTL_ENV_VAR = "REPRO_ARTIFACT_TTL"
+
+
+def _env_number(name: str, convert: type) -> float | int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return convert(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be a {convert.__name__}, got {raw!r}"
+        ) from None
+
 
 @dataclass
 class ArtifactStoreStats:
@@ -60,6 +87,8 @@ class ArtifactStoreStats:
     misses: int = 0
     writes: int = 0
     corrupt_discarded: int = 0
+    evicted: int = 0
+    evicted_bytes: int = 0
 
     @property
     def requests(self) -> int:
@@ -70,14 +99,64 @@ class ArtifactStoreStats:
         return self.hits / self.requests if self.requests else 0.0
 
 
-class ArtifactStore:
-    """Content-addressed persistent artifact storage under one root directory."""
+@dataclass
+class EvictionResult:
+    """Outcome of one :meth:`ArtifactStore.evict` pass."""
 
-    def __init__(self, root: str | os.PathLike[str]):
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    remaining_artifacts: int = 0
+    remaining_bytes: int = 0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "removed": self.removed,
+            "reclaimed_bytes": self.reclaimed_bytes,
+            "remaining_artifacts": self.remaining_artifacts,
+            "remaining_bytes": self.remaining_bytes,
+        }
+
+
+class ArtifactStore:
+    """Content-addressed persistent artifact storage under one root directory.
+
+    Parameters
+    ----------
+    max_bytes:
+        Size cap for the whole store.  When set, every write triggers an
+        eviction pass that removes least-recently-used artifacts until the
+        store fits (defaults to ``REPRO_ARTIFACT_MAX_BYTES`` when unset).
+    ttl_seconds:
+        Age limit: artifacts not read or written for this long are evicted on
+        the next pass (defaults to ``REPRO_ARTIFACT_TTL`` when unset).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        max_bytes: int | None = None,
+        ttl_seconds: float | None = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is None:
+            max_bytes = _env_number(MAX_BYTES_ENV_VAR, int)
+        if ttl_seconds is None:
+            ttl_seconds = _env_number(TTL_ENV_VAR, float)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for no size cap)")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None for no TTL)")
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
         self.stats = ArtifactStoreStats()
         self._lock = threading.Lock()
+        # Write-path eviction bookkeeping: a running byte total (exact for
+        # this process, refreshed by every full evict() scan) gates the size
+        # cap, and a timestamp throttles TTL passes — so writes stay O(1)
+        # instead of re-scanning the whole store each time.
+        self._approx_bytes: int | None = None
+        self._last_ttl_evict = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ArtifactStore(root={str(self.root)!r})"
@@ -129,7 +208,34 @@ class ArtifactStore:
             raise
         with self._lock:
             self.stats.writes += 1
+        if self._should_evict_after_write(len(blob)):
+            self.evict()
         return path
+
+    def _should_evict_after_write(self, written_bytes: int) -> bool:
+        """Cheap gate for the automatic post-write eviction pass.
+
+        The size cap triggers only once the running total crosses
+        ``max_bytes`` (another process's writes are invisible to this total,
+        but every :meth:`evict` re-measures exactly), and TTL passes run at
+        most every ``ttl/4`` seconds (capped at a minute) so a write burst
+        does not rescan the store each time.
+        """
+        if self.max_bytes is None and self.ttl_seconds is None:
+            return False
+        now = time.time()
+        with self._lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += written_bytes
+            over_cap = self.max_bytes is not None and self._approx_bytes > self.max_bytes
+            ttl_due = self.ttl_seconds is not None and (
+                now - self._last_ttl_evict >= min(self.ttl_seconds / 4, 60.0)
+            )
+            if ttl_due:
+                self._last_ttl_evict = now
+        return over_cap or ttl_due
 
     def get(self, kind: str, key: str, default: Any = None) -> Any:
         """Load one artifact, returning ``default`` on absence *or* corruption.
@@ -159,6 +265,12 @@ class ArtifactStore:
             except OSError:
                 pass
             return default
+        try:
+            # Refresh access time so LRU eviction sees this artifact as live
+            # even on filesystems mounted with relatime/noatime.
+            os.utime(path)
+        except OSError:
+            pass
         return obj
 
     @staticmethod
@@ -224,10 +336,82 @@ class ArtifactStore:
                 pass
         return removed
 
+    def evict(
+        self,
+        max_bytes: int | None = None,
+        ttl_seconds: float | None = None,
+    ) -> EvictionResult:
+        """Apply the eviction policy now, returning what was removed.
+
+        TTL expiry runs first (artifacts unused for longer than
+        ``ttl_seconds``), then the size cap: least-recently-used artifacts are
+        removed until the store holds at most ``max_bytes``.  Arguments
+        default to the store's configured policy; passing explicit values
+        evicts to tighter (or looser) bounds for one pass only.
+
+        Safe under concurrent readers and writers, in this process or
+        another: a file deleted under us is skipped, and evicting an artifact
+        another worker still wants only costs that worker a recompute.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if ttl_seconds is None:
+            ttl_seconds = self.ttl_seconds
+
+        entries: list[tuple[float, int, Path]] = []
+        for path in self._artifact_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((max(stat.st_atime, stat.st_mtime), stat.st_size, path))
+
+        result = EvictionResult()
+        now = time.time()
+
+        def remove(entry: tuple[float, int, Path]) -> bool:
+            _, size, path = entry
+            try:
+                path.unlink()
+            except OSError:
+                return False  # already evicted by a concurrent pass
+            result.removed += 1
+            result.reclaimed_bytes += size
+            return True
+
+        if ttl_seconds is not None:
+            survivors = []
+            for entry in entries:
+                if now - entry[0] > ttl_seconds:
+                    remove(entry)
+                else:
+                    survivors.append(entry)
+            entries = survivors
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for entry in sorted(entries):  # oldest last-use first
+                if total <= max_bytes:
+                    break
+                if remove(entry):
+                    total -= entry[1]
+                    entries.remove(entry)
+
+        result.remaining_artifacts = len(entries)
+        result.remaining_bytes = sum(size for _, size, _ in entries)
+        with self._lock:
+            self.stats.evicted += result.removed
+            self.stats.evicted_bytes += result.reclaimed_bytes
+            self._approx_bytes = result.remaining_bytes
+        return result
+
     def summary(self) -> dict[str, Any]:
         """Per-kind counts and sizes, for ``repro cache stats`` and JSON reports."""
         return {
             "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "ttl_seconds": self.ttl_seconds,
+            "evicted": self.stats.evicted,
             "kinds": {
                 kind: {
                     "artifacts": self.count(kind),
@@ -246,13 +430,28 @@ _STORES_BY_ROOT: dict[str, ArtifactStore] = {}
 _STORES_LOCK = threading.Lock()
 
 
-def artifact_store_at(root: str | os.PathLike[str]) -> ArtifactStore:
-    """The process-wide :class:`ArtifactStore` for a directory (created once)."""
+def artifact_store_at(
+    root: str | os.PathLike[str],
+    max_bytes: int | None = None,
+    ttl_seconds: float | None = None,
+) -> ArtifactStore:
+    """The process-wide :class:`ArtifactStore` for a directory (created once).
+
+    Explicit eviction caps apply when the store is first created for the
+    directory and reconfigure the shared instance on later calls.
+    """
     resolved = str(Path(root).expanduser().resolve())
     with _STORES_LOCK:
         store = _STORES_BY_ROOT.get(resolved)
         if store is None:
-            store = _STORES_BY_ROOT[resolved] = ArtifactStore(resolved)
+            store = _STORES_BY_ROOT[resolved] = ArtifactStore(
+                resolved, max_bytes=max_bytes, ttl_seconds=ttl_seconds
+            )
+        else:
+            if max_bytes is not None:
+                store.max_bytes = max_bytes
+            if ttl_seconds is not None:
+                store.ttl_seconds = ttl_seconds
         return store
 
 

@@ -27,9 +27,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only; serve imports us at runtime
+    from ..serve.client import RemoteEvaluationClient
     from ..serve.service import EvaluationService
 
-EXECUTORS = ("thread", "process", "serial", "service")
+EXECUTORS = ("thread", "process", "serial", "service", "remote")
 
 
 def ensure_picklable(obj: Any, error_message: str) -> None:
@@ -51,9 +52,9 @@ def ensure_picklable(obj: Any, error_message: str) -> None:
 def _require_picklable_case_fn(fn: Callable[..., Any]) -> None:
     ensure_picklable(
         fn,
-        f"executor='process' requires a picklable case function, but {fn!r} "
-        "cannot be pickled. Use a module-level function taking plain-data "
-        "arguments, or executor='thread' for closures over live objects.",
+        f"the 'process' and 'remote' executors require a picklable case function, "
+        f"but {fn!r} cannot be pickled. Use a module-level function taking "
+        "plain-data arguments, or executor='thread' for closures over live objects.",
     )
 
 
@@ -133,7 +134,8 @@ def run_sweep(
     executor: str = "thread",
     max_workers: int | None = None,
     on_error: str = "raise",
-    service: "EvaluationService | None" = None,
+    service: "EvaluationService | RemoteEvaluationClient | None" = None,
+    endpoint: str | None = None,
 ) -> SweepResult:
     """Evaluate ``fn(**params)`` over every grid point of ``spec``.
 
@@ -141,25 +143,34 @@ def run_sweep(
     ----------
     fn:
         Evaluation function taking the grid's parameters as keyword
-        arguments.  With ``executor="process"`` it must be picklable
-        (a module-level function); this is verified up front.
+        arguments.  With ``executor="process"`` or ``"remote"`` it must be
+        picklable (a module-level function); this is verified up front.
     spec:
         A :class:`SweepSpec`, or a bare ``{param: values}`` mapping which is
         wrapped into an anonymous spec.
     executor:
-        ``"thread"`` (default), ``"process"``, ``"serial"`` or ``"service"``.
-        ``"service"`` submits every grid point as a job to an
+        ``"thread"`` (default), ``"process"``, ``"serial"``, ``"service"`` or
+        ``"remote"``.  ``"service"`` submits every grid point as a job to an
         :class:`~repro.serve.service.EvaluationService`, so sweep cases share
         the service's worker pools, report cache and coalescing scheduler
-        with any other traffic it is serving.
+        with any other traffic it is serving.  ``"remote"`` does the same
+        against a ``repro serve`` HTTP endpoint through a
+        :class:`~repro.serve.client.RemoteEvaluationClient`, fanning the
+        sweep out to a server process shared by many clients.
     max_workers:
         Worker count for the parallel executors (library default if None).
     on_error:
         ``"raise"`` propagates the first failure; ``"capture"`` records the
         exception on the affected :class:`SweepCaseResult` and continues.
+        Remote failures carry the server-side error message, not the
+        original exception type.
     service:
         The evaluation service for ``executor="service"`` (an ephemeral one
-        is created — and shut down — when omitted).
+        is created — and shut down — when omitted), or an existing
+        :class:`RemoteEvaluationClient` for ``executor="remote"``.
+    endpoint:
+        Server base URL for ``executor="remote"`` (e.g.
+        ``"http://127.0.0.1:8035"``); ignored when ``service`` is given.
     """
     if not isinstance(spec, SweepSpec):
         spec = SweepSpec(name="sweep", grid=dict(spec))
@@ -167,8 +178,10 @@ def run_sweep(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
-    if executor == "process":
+    if executor in ("process", "remote"):
         _require_picklable_case_fn(fn)
+    if executor == "remote" and service is None and endpoint is None:
+        raise ValueError("executor='remote' needs endpoint='http://host:port' (or service=client)")
 
     cases = [SweepCaseResult(index=i, params=params) for i, params in enumerate(spec.cases())]
 
@@ -181,8 +194,8 @@ def run_sweep(
             case.error = exc
         return case
 
-    if executor == "service":
-        _run_sweep_on_service(fn, spec, cases, on_error, service, max_workers)
+    if executor in ("service", "remote"):
+        _run_sweep_on_service(fn, spec, cases, on_error, service, max_workers, executor, endpoint)
     elif executor == "serial" or len(cases) <= 1:
         for case in cases:
             evaluate(case)
@@ -212,14 +225,28 @@ def _run_sweep_on_service(
     spec: SweepSpec,
     cases: list[SweepCaseResult],
     on_error: str,
-    service: "EvaluationService | None",
+    service: "EvaluationService | RemoteEvaluationClient | None",
     max_workers: int | None,
+    executor: str = "service",
+    endpoint: str | None = None,
 ) -> None:
-    """Fan a sweep's cases out as jobs on an evaluation service."""
-    from ..serve.service import EvaluationService  # deferred: core must import without serve
+    """Fan a sweep's cases out as jobs on an evaluation service (local or remote).
 
+    Works for both executors because :class:`RemoteEvaluationClient` mirrors
+    the service's submission surface and its jobs mirror ``Job``'s read side.
+    """
+    # Deferred imports: core must stay importable without the serve package.
     owned = service is None
-    active = service if service is not None else EvaluationService(max_workers=max_workers)
+    if service is not None:
+        active: Any = service
+    elif executor == "remote":
+        from ..serve.client import RemoteEvaluationClient
+
+        active = RemoteEvaluationClient(endpoint)
+    else:
+        from ..serve.service import EvaluationService
+
+        active = EvaluationService(max_workers=max_workers)
     try:
         jobs = [
             active.submit_callable(
@@ -240,7 +267,9 @@ def _run_sweep_on_service(
             active.close()
 
 
-def sweep_table(result: SweepResult, value_label: str = "value") -> tuple[list[str], list[list[Any]]]:
+def sweep_table(
+    result: SweepResult, value_label: str = "value"
+) -> tuple[list[str], list[list[Any]]]:
     """(header, rows) view of a sweep, ready for :func:`repro.analysis.tables.format_table`."""
     header = list(result.spec.grid) + [value_label]
     rows = [

@@ -20,9 +20,7 @@ Fig. 11) do not redo shared work.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
 from ..accelerator.simulator import SimulationReport, relative_saving, safe_speedup

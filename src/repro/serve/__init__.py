@@ -19,22 +19,36 @@ traffic*, not as one script.  This package provides the service layer:
     which is GIL-limited).
 ``repro.serve.workers``
     Module-level, picklable job functions for the process pool.
+``repro.serve.http``
+    :class:`EvaluationHTTPServer` — the stdlib REST front end: remote
+    clients POST jobs, poll results, and share the server's single-flight
+    scheduler and artifact store.
+``repro.serve.client``
+    :class:`RemoteEvaluationClient` — urllib-based client mirroring the
+    service surface, with retry/backoff and polling job handles.
 ``repro.serve.cli``
     The ``repro`` console script: ``repro sweep``, ``repro evaluate``,
-    ``repro cache``.
+    ``repro cache``, ``repro serve``.
 """
 
+from .client import RemoteEvaluationClient, RemoteJob, RemoteServiceError
+from .http import EvaluationHTTPServer, start_http_server
 from .jobs import Job, JobFailedError, JobKind, JobStatus
 from .scheduler import SimulationRequest, coalesce_requests, run_batched
 from .service import EvaluationService
 
 __all__ = [
+    "EvaluationHTTPServer",
     "EvaluationService",
     "Job",
     "JobFailedError",
     "JobKind",
     "JobStatus",
+    "RemoteEvaluationClient",
+    "RemoteJob",
+    "RemoteServiceError",
     "SimulationRequest",
     "coalesce_requests",
     "run_batched",
+    "start_http_server",
 ]

@@ -1,6 +1,6 @@
 """``repro`` — the command-line front end of the evaluation service.
 
-Three subcommands drive the fleet pipeline end to end against a persistent
+Four subcommands drive the fleet pipeline end to end against a persistent
 artifact directory, so repeated invocations (and concurrent workers pointing
 at the same directory) share sparsity traces, FID statistics and simulation
 reports instead of recomputing them:
@@ -9,11 +9,17 @@ reports instead of recomputing them:
     Sweep accelerator-configuration knobs over a workload's quantized trace.
     Grid points are submitted to an :class:`EvaluationService` as simulation
     jobs, which the scheduler coalesces into cross-trace batched passes.
+    With ``--endpoint`` the same jobs go to a remote ``repro serve`` process
+    instead, where submissions from any number of clients coalesce through
+    one single-flight scheduler and share one artifact store.
 ``repro evaluate``
     The Fig. 12 hardware comparison for one workload, optionally with
     quality (FID) evaluations fanned out to the process pool.
+``repro serve``
+    Run the evaluation service behind its HTTP front end
+    (:mod:`repro.serve.http`) until interrupted.
 ``repro cache``
-    Inspect or wipe the artifact store.
+    Inspect, wipe, or evict from the artifact store.
 
 Every command accepts ``--artifact-dir`` (default: the ``REPRO_ARTIFACT_DIR``
 environment variable) and ``--json`` to write machine-readable results for CI.
@@ -29,7 +35,13 @@ import sys
 from typing import Any, Sequence
 
 from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
-from ..core.artifacts import ARTIFACT_DIR_ENV_VAR, ArtifactStore, artifact_store_at
+from ..core.artifacts import (
+    ARTIFACT_DIR_ENV_VAR,
+    MAX_BYTES_ENV_VAR,
+    TTL_ENV_VAR,
+    ArtifactStore,
+    artifact_store_at,
+)
 from ..core.experiments import SweepSpec
 from ..core.pipeline import PipelineConfig, SQDMPipeline
 from ..core.policy import mixed_precision_policy
@@ -47,9 +59,7 @@ def _parse_param(text: str) -> tuple[str, list[Any]]:
     name, sep, values = text.partition("=")
     name = name.strip()
     if not sep or not values.strip():
-        raise argparse.ArgumentTypeError(
-            f"expected NAME=V1[,V2,...], got {text!r}"
-        )
+        raise argparse.ArgumentTypeError(f"expected NAME=V1[,V2,...], got {text!r}")
     if name not in _CONFIG_FIELDS:
         raise argparse.ArgumentTypeError(
             f"unknown AcceleratorConfig field {name!r}; sweepable fields: "
@@ -76,14 +86,23 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         help="persistent artifact directory (default: $REPRO_ARTIFACT_DIR; "
         "omit both to run without persistence)",
     )
-    parser.add_argument("--json", dest="json_path", default=None, metavar="PATH",
-                        help="write results as JSON to PATH")
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON to PATH",
+    )
 
 
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="cifar10", choices=workload_names())
-    parser.add_argument("--resolution", type=int, default=None,
-                        help="override image resolution (smaller = faster)")
+    parser.add_argument(
+        "--resolution",
+        type=int,
+        default=None,
+        help="override image resolution (smaller = faster)",
+    )
     parser.add_argument("--sampling-steps", type=int, default=4)
     parser.add_argument("--trace-samples", type=int, default=1)
     parser.add_argument("--fid-samples", type=int, default=8)
@@ -95,8 +114,9 @@ def _resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
     return artifact_store_at(args.artifact_dir) if args.artifact_dir else None
 
 
-def _build_pipeline(args: argparse.Namespace, store: ArtifactStore | None,
-                    cache: ReportCache) -> SQDMPipeline:
+def _build_pipeline(
+    args: argparse.Namespace, store: ArtifactStore | None, cache: ReportCache
+) -> SQDMPipeline:
     from ..workloads.models import load_workload
 
     config = PipelineConfig(
@@ -122,6 +142,26 @@ def _cache_summary(cache: ReportCache, store: ArtifactStore | None) -> dict[str,
         summary["store_hits"] = store.stats.hits
         summary["store_misses"] = store.stats.misses
     return summary
+
+
+def _remote_cache_summary(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """This invocation's share of the server's cache traffic, as before/after deltas.
+
+    Shaped like :func:`_cache_summary` so CI asserts the same keys for the
+    in-process and the remote paths; the server's absolute stats ride along
+    under ``"server"``.
+    """
+    deltas = {
+        key: after["cache"][key] - before["cache"][key]
+        for key in ("memory_hits", "disk_hits", "misses")
+    }
+    requests = sum(deltas.values())
+    served = deltas["memory_hits"] + deltas["disk_hits"]
+    return {
+        **deltas,
+        "hit_rate": served / requests if requests else 0.0,
+        "server": after,
+    }
 
 
 def _write_json(path: str | None, payload: dict[str, Any]) -> None:
@@ -158,27 +198,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = pipeline.collect_trace(relu=True)
     quant_trace = trace_to_workloads(trace, policy)
 
-    with EvaluationService(cache=cache, max_workers=args.max_workers) as service:
+    # The remote client mirrors the service's submission surface, so one code
+    # path covers both: jobs either run in this process or on the server
+    # named by --endpoint (where many clients coalesce and share one store).
+    remote_stats_before: dict[str, Any] | None = None
+    if args.endpoint:
+        from .client import RemoteEvaluationClient
+
+        executor: Any = RemoteEvaluationClient(args.endpoint)
+        remote_stats_before = executor.cache_stats()
+    else:
+        executor = EvaluationService(cache=cache, max_workers=args.max_workers)
+
+    with executor as service:
         baseline_job = service.submit_simulation(
             dense_baseline_config(), quant_trace, backend=args.backend, label="dense-baseline"
         )
         case_jobs = [
             service.submit_simulation(
-                sqdm_config(**params), quant_trace, backend=args.backend,
+                sqdm_config(**params),
+                quant_trace,
+                backend=args.backend,
                 label=f"{spec.name}[{i}]",
             )
             for i, params in enumerate(spec.cases())
         ]
         baseline = baseline_job.result()
         reports = [job.result() for job in case_jobs]
+        if remote_stats_before is not None:
+            cache_summary = _remote_cache_summary(remote_stats_before, service.cache_stats())
+        else:
+            cache_summary = _cache_summary(cache, store)
 
     rows = []
     results = []
     for params, report in zip(spec.cases(), reports):
-        speedup = baseline.total_cycles / report.total_cycles if report.total_cycles else float("inf")
+        speedup = (
+            baseline.total_cycles / report.total_cycles if report.total_cycles else float("inf")
+        )
         rows.append(
-            [*(params[name] for name in grid), f"{report.total_time_ms:.3f}",
-             f"{report.total_energy.total_uj:.2f}", f"{speedup:.2f}x"]
+            [
+                *(params[name] for name in grid),
+                f"{report.total_time_ms:.3f}",
+                f"{report.total_energy.total_uj:.2f}",
+                f"{speedup:.2f}x",
+            ]
         )
         results.append(
             {
@@ -196,16 +260,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"{spec.name}: {spec.num_cases} design points on the quantized trace",
         )
     )
-    _print_cache_line(cache, store)
+    if args.endpoint:
+        print(
+            f"served by {args.endpoint}: {cache_summary['misses']} simulated, "
+            f"{cache_summary['memory_hits']} memory hits, "
+            f"{cache_summary['disk_hits']} disk hits during this sweep"
+        )
+    else:
+        _print_cache_line(cache, store)
     _write_json(
         args.json_path,
         {
             "command": "sweep",
             "workload": args.workload,
+            "endpoint": args.endpoint,
             "grid": {name: list(values) for name, values in grid.items()},
             "cases": results,
             "baseline_cycles": baseline.total_cycles,
-            "cache": _cache_summary(cache, store),
+            "cache": cache_summary,
         },
     )
     return 0
@@ -265,8 +337,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             format_table(
                 ["Scheme", "FID", "Compute saving", "Memory saving"],
                 [
-                    [q["scheme"], f"{q['fid']:.2f}", f"{q['compute_saving']:.1%}",
-                     f"{q['memory_saving']:.1%}"]
+                    [
+                        q["scheme"],
+                        f"{q['fid']:.2f}",
+                        f"{q['compute_saving']:.1%}",
+                        f"{q['memory_saving']:.1%}",
+                    ]
                     for q in quality_results
                 ],
                 title="Quality (process-pool sampling jobs)",
@@ -293,6 +369,44 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- repro serve ----------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .http import EvaluationHTTPServer
+
+    store = None
+    if args.artifact_dir:
+        store = artifact_store_at(
+            args.artifact_dir, max_bytes=args.max_bytes, ttl_seconds=args.ttl
+        )
+    cache = ReportCache(store=store)
+    service = EvaluationService(
+        cache=cache,
+        max_workers=args.max_workers,
+        process_workers=args.process_workers,
+    )
+    server = EvaluationHTTPServer((args.host, args.port), service, store=store)
+    print(f"repro serve: listening on {server.endpoint}", flush=True)
+    if store is not None:
+        policy = f"max_bytes={store.max_bytes} ttl_seconds={store.ttl_seconds}"
+        print(f"repro serve: artifact store at {store.root} ({policy})", flush=True)
+    else:
+        print(
+            "repro serve: no artifact directory; results are not persisted "
+            f"(pass --artifact-dir or set {ARTIFACT_DIR_ENV_VAR})",
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.server_close()
+        service.close(cancel_queued=True)
+    return 0
+
+
 # -- repro cache ----------------------------------------------------------------
 
 
@@ -308,6 +422,32 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.wipe(args.kind)
         print(f"removed {removed} artifact(s) from {store.root}")
         _write_json(args.json_path, {"command": "cache", "action": "wipe", "removed": removed})
+        return 0
+    if args.action == "evict":
+        no_policy = (
+            args.max_bytes is None
+            and args.ttl is None
+            and store.max_bytes is None
+            and store.ttl_seconds is None
+        )
+        if no_policy:
+            print(
+                "no eviction policy: pass --max-bytes and/or --ttl (or set "
+                f"{MAX_BYTES_ENV_VAR} / {TTL_ENV_VAR})",
+                file=sys.stderr,
+            )
+            return 2
+        result = store.evict(max_bytes=args.max_bytes, ttl_seconds=args.ttl)
+        print(
+            f"evicted {result.removed} artifact(s) "
+            f"({result.reclaimed_bytes / 1024:.1f} KiB) from {store.root}; "
+            f"{result.remaining_artifacts} artifact(s) "
+            f"({result.remaining_bytes / 1024:.1f} KiB) remain"
+        )
+        _write_json(
+            args.json_path,
+            {"command": "cache", "action": "evict", **result.summary()},
+        )
         return 0
     summary = store.summary()
     print(f"artifact store at {summary['root']}")
@@ -337,28 +477,84 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(sweep)
     _add_common_args(sweep)
     sweep.add_argument(
-        "--param", dest="params", action="append", type=_parse_param, metavar="NAME=V1,V2",
+        "--param",
+        dest="params",
+        action="append",
+        type=_parse_param,
+        metavar="NAME=V1,V2",
         help="AcceleratorConfig field and comma-separated values; repeat for a grid "
         "(default: sparsity_threshold=0.1,0.3,0.5)",
     )
     sweep.add_argument("--backend", default=None, help="simulation backend name")
     sweep.add_argument("--max-workers", type=int, default=None)
+    sweep.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="URL",
+        help="submit jobs to a remote `repro serve` server (e.g. http://127.0.0.1:8035) "
+        "instead of an in-process service",
+    )
     sweep.set_defaults(fn=_cmd_sweep)
 
     evaluate = sub.add_parser("evaluate", help="run the Fig. 12 hardware evaluation")
     _add_scale_args(evaluate)
     _add_common_args(evaluate)
     evaluate.add_argument(
-        "--quality", nargs="*", default=None, metavar="SCHEME",
+        "--quality",
+        nargs="*",
+        default=None,
+        metavar="SCHEME",
         help="also FID-evaluate these schemes (e.g. MXINT8 INT4-VSQ MP+ReLU) "
         "on the process pool",
     )
     evaluate.add_argument("--process-workers", type=int, default=None)
     evaluate.set_defaults(fn=_cmd_evaluate)
 
-    cache = sub.add_parser("cache", help="inspect or wipe the artifact store")
-    cache.add_argument("action", choices=["stats", "wipe"])
+    serve = sub.add_parser(
+        "serve", help="run the evaluation service behind its HTTP front end"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8035, help="0 picks a free port")
+    serve.add_argument(
+        "--artifact-dir",
+        default=os.environ.get(ARTIFACT_DIR_ENV_VAR) or None,
+        help="persistent artifact directory shared by all clients "
+        f"(default: ${ARTIFACT_DIR_ENV_VAR})",
+    )
+    serve.add_argument("--max-workers", type=int, default=None)
+    serve.add_argument("--process-workers", type=int, default=None)
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="artifact-store size cap; LRU eviction runs after every write "
+        f"(default: ${MAX_BYTES_ENV_VAR})",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=f"evict artifacts unused for this long (default: ${TTL_ENV_VAR})",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    cache = sub.add_parser("cache", help="inspect, wipe or evict from the artifact store")
+    cache.add_argument("action", choices=["stats", "wipe", "evict"])
     cache.add_argument("--kind", default=None, help="restrict wipe to one artifact kind")
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used artifacts until the store fits this many bytes",
+    )
+    cache.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict artifacts unused for more than this many seconds",
+    )
     _add_common_args(cache)
     cache.set_defaults(fn=_cmd_cache)
     return parser

@@ -1,0 +1,361 @@
+"""Remote client for the evaluation service's HTTP front end.
+
+:class:`RemoteEvaluationClient` mirrors the submission surface of
+:class:`~repro.serve.service.EvaluationService` — ``submit_simulation`` /
+``submit_callable`` / ``submit_sampling`` / ``job`` / ``jobs`` / ``cancel`` /
+``wait_all`` — over plain :mod:`urllib`, so call sites switch between the
+in-process service and a remote server by swapping one object:
+
+    with RemoteEvaluationClient("http://fleet-server:8035") as client:
+        job = client.submit_simulation(sqdm_config(), trace)
+        report = job.result(timeout=300)
+
+Transient transport failures (connection refused while the server starts,
+dropped keep-alive sockets) are retried with exponential backoff; HTTP-level
+errors are not retried and surface as :class:`RemoteServiceError` (or
+:class:`KeyError` for unknown job ids, matching the in-process service).
+
+A :class:`RemoteJob` polls the server for its status with capped exponential
+backoff and fetches the pickled result exactly once.  Failures carry the
+server-side error *message*; the original exception type does not cross the
+wire.  :func:`repro.core.experiments.run_sweep` accepts
+``executor="remote", endpoint=...`` and fans its cases out through this
+client, which requires the case function to be picklable (module-level), the
+same contract as ``executor="process"``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Iterable, Mapping
+
+from ..accelerator.config import AcceleratorConfig
+from ..accelerator.energy import EnergyTable
+from ..accelerator.simulator import WorkloadTrace
+from .http import decode_payload, encode_payload
+from .jobs import JobFailedError, JobStatus
+
+_TERMINAL = (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+class RemoteServiceError(RuntimeError):
+    """The server rejected a request or could not be reached."""
+
+
+class RemoteJob:
+    """Handle to one job living on a remote evaluation server.
+
+    Mirrors the read side of :class:`~repro.serve.jobs.Job`: ``status`` /
+    ``done`` / ``ok`` properties, blocking :meth:`wait` and :meth:`result`,
+    plus ``result_value`` and ``error`` attributes populated once the job
+    reaches a terminal state (so sweep runners treat local and remote jobs
+    uniformly).
+    """
+
+    def __init__(self, client: "RemoteEvaluationClient", summary: Mapping[str, Any]):
+        self._client = client
+        self._summary = dict(summary)
+        self.id: str = self._summary["id"]
+        self.kind: str = self._summary.get("kind", "")
+        self.label: str = self._summary.get("label", "")
+        self.result_value: Any = None
+        self.error: BaseException | None = None
+        self._result_fetched = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RemoteJob(id={self.id!r}, status={self.status.value!r})"
+
+    # -- state ------------------------------------------------------------------
+
+    def _refresh(self, with_result: bool = False) -> None:
+        path = f"/jobs/{self.id}"
+        if with_result:
+            path += "?result=1"
+        self._summary = self._client._request("GET", path)
+        if self.status in _TERMINAL and not self._result_fetched:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        if self.status is JobStatus.DONE:
+            if "result" not in self._summary:
+                self._summary = self._client._request("GET", f"/jobs/{self.id}?result=1")
+            self.result_value = decode_payload(self._summary["result"])
+        else:
+            self.error = JobFailedError(
+                f"job {self.id} ({self.label or self.kind}) {self.status.value}: "
+                f"{self._summary.get('error')}"
+            )
+        self._result_fetched = True
+
+    @property
+    def status(self) -> JobStatus:
+        return JobStatus(self._summary["status"])
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    @property
+    def ok(self) -> bool:
+        return self.status is JobStatus.DONE
+
+    def summary(self) -> dict[str, Any]:
+        return {k: v for k, v in self._summary.items() if k != "result"}
+
+    # -- blocking ---------------------------------------------------------------
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Poll until the job completes; False if the timeout expired first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        interval = self._client.poll_interval
+        while True:
+            if not self.done:
+                self._refresh(with_result=True)
+            if self.done:
+                if not self._result_fetched:
+                    self._finalize()
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            sleep_for = interval
+            if deadline is not None:
+                sleep_for = min(sleep_for, max(0.0, deadline - time.monotonic()))
+            time.sleep(sleep_for)
+            interval = min(interval * 2, self._client.max_poll_interval)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The job's result, blocking until completion (parity with ``Job.result``)."""
+        if not self.wait(timeout):
+            raise TimeoutError(f"job {self.id} ({self.label or self.kind}) still running")
+        if self.status is not JobStatus.DONE:
+            assert self.error is not None
+            raise self.error
+        return self.result_value
+
+    def cancel(self) -> bool:
+        """Ask the server to cancel this job; True when the cancellation won."""
+        return self._client.cancel(self.id)
+
+
+class RemoteEvaluationClient:
+    """Submit evaluation jobs to a ``repro serve`` HTTP endpoint.
+
+    Parameters
+    ----------
+    endpoint:
+        Base URL of the server, e.g. ``"http://127.0.0.1:8035"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries / backoff:
+        Transport-failure retry budget: each attempt sleeps
+        ``backoff * 2**attempt`` before the next one.
+    poll_interval / max_poll_interval:
+        Result-polling cadence for :meth:`RemoteJob.wait`.
+    """
+
+    def __init__(
+        self,
+        endpoint: str,
+        timeout: float = 30.0,
+        retries: int = 5,
+        backoff: float = 0.1,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 1.0,
+    ):
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout = timeout
+        self.retries = max(1, retries)
+        self.backoff = backoff
+        self.poll_interval = poll_interval
+        self.max_poll_interval = max_poll_interval
+
+    # -- transport --------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict[str, Any] | None = None) -> Any:
+        url = f"{self.endpoint}{path}"
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        last_error: Exception | None = None
+        for attempt in range(self.retries):
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                raise self._http_error(method, path, exc) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last_error = exc
+                # POST /jobs is not idempotent: a submission whose response
+                # was lost may already be enqueued, so blindly retrying would
+                # run the job twice.  Retry POSTs only when the connection was
+                # refused outright (nothing reached the server — e.g. it is
+                # still starting up); reads and cancels always retry.
+                if method == "POST" and not self._connection_refused(exc):
+                    break
+                time.sleep(self.backoff * 2**attempt)
+        raise RemoteServiceError(
+            f"cannot reach {url} ({method}, {attempt + 1} attempt(s)): {last_error}"
+        ) from last_error
+
+    @staticmethod
+    def _connection_refused(exc: Exception) -> bool:
+        if isinstance(exc, ConnectionRefusedError):
+            return True
+        reason = getattr(exc, "reason", None)
+        return isinstance(reason, ConnectionRefusedError)
+
+    @staticmethod
+    def _http_error(method: str, path: str, exc: urllib.error.HTTPError) -> Exception:
+        try:
+            message = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 - error body is best-effort
+            message = ""
+        message = message or f"HTTP {exc.code}"
+        if exc.code == 404 and path.startswith("/jobs/"):
+            return KeyError(message)  # parity with EvaluationService.job
+        return RemoteServiceError(f"{method} {path} failed: {message} (HTTP {exc.code})")
+
+    # -- submission -------------------------------------------------------------
+
+    def _submit(self, kind: str, payload: Any, label: str) -> RemoteJob:
+        summary = self._request(
+            "POST",
+            "/jobs",
+            {"kind": kind, "label": label, "payload": encode_payload(payload)},
+        )
+        return RemoteJob(self, summary)
+
+    def submit_simulation(
+        self,
+        config: AcceleratorConfig,
+        trace: WorkloadTrace,
+        energy_table: EnergyTable | None = None,
+        backend: str | None = None,
+        label: str = "",
+    ) -> RemoteJob:
+        """Queue one trace simulation on the server; identical requests from
+        any client coalesce through the server's single-flight scheduler."""
+        payload = {
+            "config": config,
+            "trace": trace,
+            "energy_table": energy_table,
+            "backend": backend,
+        }
+        return self._submit("simulation", payload, label or f"simulate:{config.name}")
+
+    def _submit_function_job(
+        self,
+        kind: str,
+        fn: Callable[..., Any],
+        args: Iterable[Any],
+        kwargs: Mapping[str, Any] | None,
+        label: str,
+    ) -> RemoteJob:
+        payload = (fn, tuple(args), dict(kwargs or {}))
+        # encode_payload pickles, so it doubles as the picklability check:
+        # one serialization pass instead of a verify-then-encode pair.
+        try:
+            encoded = encode_payload(payload)
+        except Exception as exc:  # noqa: BLE001 - any pickling failure
+            raise ValueError(
+                "remote jobs cross the wire as pickles, so the function and its "
+                "arguments must be picklable: pass a module-level function and "
+                "plain-data arguments, not lambdas, bound methods or live model "
+                f"objects ({exc})"
+            ) from exc
+        label = label or f"{kind}:{getattr(fn, '__name__', fn)}"
+        summary = self._request(
+            "POST", "/jobs", {"kind": kind, "label": label, "payload": encoded}
+        )
+        return RemoteJob(self, summary)
+
+    def submit_callable(
+        self,
+        fn: Callable[..., Any],
+        args: Iterable[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        label: str = "",
+    ) -> RemoteJob:
+        """Queue a callable on the server's thread pool (module-level functions only)."""
+        return self._submit_function_job("callable", fn, args, kwargs, label)
+
+    def submit_sampling(
+        self,
+        fn: Callable[..., Any],
+        args: Iterable[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        label: str = "",
+    ) -> RemoteJob:
+        """Queue a sampling-bound job for the server's process pool."""
+        return self._submit_function_job("sampling", fn, args, kwargs, label)
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> RemoteJob:
+        """Convenience form of :meth:`submit_callable`."""
+        return self.submit_callable(fn, args=args, kwargs=kwargs)
+
+    # -- inspection -------------------------------------------------------------
+
+    def job(self, job_id: str) -> RemoteJob:
+        return RemoteJob(self, self._request("GET", f"/jobs/{job_id}"))
+
+    def jobs(self) -> list[RemoteJob]:
+        listing = self._request("GET", "/jobs")
+        return [RemoteJob(self, summary) for summary in listing["jobs"]]
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.job(job_id).status
+
+    def result(self, job_id: str, timeout: float | None = None) -> Any:
+        return self.job(job_id).result(timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; False if it already ran."""
+        return bool(self._request("DELETE", f"/jobs/{job_id}")["cancelled"])
+
+    def wait_all(
+        self, jobs: Iterable[RemoteJob] | None = None, timeout: float | None = None
+    ) -> bool:
+        """Wait for the given jobs (default: all on the server); False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in list(jobs) if jobs is not None else self.jobs():
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not job.wait(remaining):
+                return False
+        return True
+
+    # -- server state -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._request("GET", "/cache/stats")
+
+    def evict(
+        self, max_bytes: int | None = None, ttl_seconds: float | None = None
+    ) -> dict[str, Any]:
+        """Run the server's artifact-store eviction policy."""
+        body: dict[str, Any] = {}
+        if max_bytes is not None:
+            body["max_bytes"] = max_bytes
+        if ttl_seconds is not None:
+            body["ttl_seconds"] = ttl_seconds
+        return self._request("POST", "/cache/evict", body)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Parity with :meth:`EvaluationService.close`; the client is stateless."""
+
+    def __enter__(self) -> "RemoteEvaluationClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,286 @@
+"""REST front end for the evaluation service, on the standard library only.
+
+:class:`EvaluationHTTPServer` wraps an
+:class:`~repro.serve.service.EvaluationService` in a
+:class:`http.server.ThreadingHTTPServer`, turning the in-process job queue
+into something remote workers submit to — the shape large acquisition
+systems converge on: a batching scheduler behind a small network protocol,
+with clients submitting jobs and polling results.
+
+Endpoints (all JSON):
+
+========  ==================  ==================================================
+Method    Path                Meaning
+========  ==================  ==================================================
+POST      ``/jobs``           Submit a job; returns its summary (id, status).
+GET       ``/jobs``           List known jobs.
+GET       ``/jobs/<id>``      One job's status; ``?result=1`` attaches the
+                              pickled result once the job is done.
+DELETE    ``/jobs/<id>``      Cancel a job that has not started.
+GET       ``/cache/stats``    Report-cache, artifact-store and service stats.
+POST      ``/cache/evict``    Run the artifact store's eviction policy.
+GET       ``/healthz``        Liveness probe with traffic counters.
+========  ==================  ==================================================
+
+Rich payloads (accelerator configs, workload traces, simulation reports,
+callables) cross the wire as base64-encoded pickles inside the JSON
+envelope — the same representation the process pool already uses.  Pickle
+deserialization executes arbitrary code by design, so the server trusts its
+clients: bind to loopback or a private fleet network, never the open
+internet.  Simulation jobs submitted by any number of clients coalesce
+through the service's single-flight scheduler and share one artifact store.
+
+Because every simulation job is served through the shared
+:class:`~repro.core.report_cache.ReportCache`, a server restarted over the
+same artifact directory serves warm traffic entirely from disk — zero
+re-simulation — which is exactly what the CI smoke stage asserts.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from ..core.artifacts import ArtifactStore
+from .jobs import Job, JobKind
+from .service import EvaluationService
+
+
+def encode_payload(obj: Any) -> str:
+    """Pickle an object into a JSON-safe base64 string."""
+    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Inverse of :func:`encode_payload` (trusted input only; see module docs)."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class _HTTPError(Exception):
+    """Internal: maps a handler failure to an HTTP status + JSON error body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class EvaluationHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one evaluation service (and its store)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: EvaluationService,
+        store: ArtifactStore | None = None,
+    ):
+        super().__init__(address, _EvaluationRequestHandler)
+        self.service = service
+        self.store = store if store is not None else service.cache.store
+        self._thread: threading.Thread | None = None
+
+    @property
+    def endpoint(self) -> str:
+        """The base URL clients should use (resolves ``port=0`` to the real port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> "EvaluationHTTPServer":
+        """Serve from a daemon thread (tests and embedded use); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (the service is left running)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "EvaluationHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def start_http_server(
+    service: EvaluationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store: ArtifactStore | None = None,
+) -> EvaluationHTTPServer:
+    """Start an :class:`EvaluationHTTPServer` on a background thread."""
+    return EvaluationHTTPServer((host, port), service, store=store).start_background()
+
+
+class _EvaluationRequestHandler(BaseHTTPRequestHandler):
+    server: EvaluationHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
+        pass  # per-request logging is noise for a job server; stats cover it
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        try:
+            parsed = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(parsed, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return parsed
+
+    def _dispatch(self, handler: Any, *args: Any) -> None:
+        try:
+            status, payload = handler(*args)
+            self._send_json(status, payload)
+        except _HTTPError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+        except Exception as exc:  # noqa: BLE001 - one bad request must not kill the server
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- routing ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["healthz"]:
+            self._dispatch(self._get_healthz)
+        elif parts == ["jobs"]:
+            self._dispatch(self._get_jobs)
+        elif len(parts) == 2 and parts[0] == "jobs":
+            query = parse_qs(parsed.query)
+            with_result = query.get("result", ["0"])[-1] not in ("0", "", "false")
+            self._dispatch(self._get_job, parts[1], with_result)
+        elif parts == ["cache", "stats"]:
+            self._dispatch(self._get_cache_stats)
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["jobs"]:
+            self._dispatch(self._post_job)
+        elif parts == ["cache", "evict"]:
+            self._dispatch(self._post_cache_evict)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler naming
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._dispatch(self._delete_job, parts[1])
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- handlers ---------------------------------------------------------------
+
+    def _get_healthz(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "status": "ok",
+            "service": self.server.service.service_stats(),
+            "store": str(self.server.store.root) if self.server.store is not None else None,
+        }
+
+    def _get_jobs(self) -> tuple[int, dict[str, Any]]:
+        return 200, {"jobs": [job.summary() for job in self.server.service.jobs()]}
+
+    def _get_job(self, job_id: str, with_result: bool) -> tuple[int, dict[str, Any]]:
+        job = self.server.service.job(job_id)
+        payload = job.summary()
+        if with_result and job.ok:
+            payload["result"] = encode_payload(job.result_value)
+        return 200, payload
+
+    def _post_job(self) -> tuple[int, dict[str, Any]]:
+        body = self._read_json()
+        kind = body.get("kind")
+        label = str(body.get("label") or "")
+        try:
+            payload = decode_payload(body["payload"])
+        except KeyError:
+            raise _HTTPError(400, "job submission needs a 'payload' field") from None
+        except Exception as exc:  # noqa: BLE001 - undecodable pickle is a client error
+            raise _HTTPError(400, f"cannot decode job payload: {exc}") from None
+        job = self._submit(kind, payload, label)
+        return 201, job.summary()
+
+    def _submit(self, kind: Any, payload: Any, label: str) -> Job:
+        service = self.server.service
+        try:
+            if kind == JobKind.SIMULATION.value:
+                return service.submit_simulation(
+                    config=payload["config"],
+                    trace=payload["trace"],
+                    energy_table=payload.get("energy_table"),
+                    backend=payload.get("backend"),
+                    label=label,
+                )
+            if kind == JobKind.SAMPLING.value:
+                fn, args, kwargs = payload
+                return service.submit_sampling(fn, args=args, kwargs=kwargs, label=label)
+            if kind == JobKind.CALLABLE.value:
+                fn, args, kwargs = payload
+                return service.submit_callable(fn, args=args, kwargs=kwargs, label=label)
+        except (TypeError, ValueError, KeyError) as exc:
+            # KeyError included: a payload missing e.g. 'config' is the
+            # client's malformed request (400), not a missing resource (404).
+            raise _HTTPError(400, f"bad {kind} job payload: {exc!r}") from None
+        raise _HTTPError(400, f"unknown job kind {kind!r}")
+
+    def _delete_job(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        cancelled = self.server.service.cancel(job_id)
+        payload = self.server.service.job(job_id).summary()
+        payload["cancelled"] = cancelled
+        return 200, payload
+
+    def _get_cache_stats(self) -> tuple[int, dict[str, Any]]:
+        cache = self.server.service.cache
+        payload: dict[str, Any] = {
+            "cache": {
+                "memory_hits": cache.stats.hits,
+                "disk_hits": cache.stats.disk_hits,
+                "misses": cache.stats.misses,
+                "hit_rate": cache.stats.hit_rate,
+                "entries": len(cache),
+            },
+            "service": self.server.service.service_stats(),
+            "store": self.server.store.summary() if self.server.store is not None else None,
+        }
+        return 200, payload
+
+    def _post_cache_evict(self) -> tuple[int, dict[str, Any]]:
+        store = self.server.store
+        if store is None:
+            raise _HTTPError(409, "no artifact store configured on this server")
+        body = self._read_json()
+        result = store.evict(
+            max_bytes=body.get("max_bytes"),
+            ttl_seconds=body.get("ttl_seconds"),
+        )
+        return 200, result.summary()

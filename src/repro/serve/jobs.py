@@ -3,9 +3,16 @@
 A :class:`Job` is one unit of evaluation traffic — a simulation request, a
 sampling run, or an arbitrary callable — owned by an
 :class:`~repro.serve.service.EvaluationService`.  Jobs move through
-``QUEUED -> RUNNING -> DONE | FAILED`` (or ``CANCELLED`` at service
-shutdown); completion is signalled through a :class:`threading.Event`, so any
-number of client threads can block on :meth:`Job.wait` without polling.
+``QUEUED -> RUNNING -> DONE | FAILED`` (or ``CANCELLED``, either at service
+shutdown or through :meth:`EvaluationService.cancel`); completion is
+signalled through a :class:`threading.Event`, so any number of client threads
+can block on :meth:`Job.wait` without polling.
+
+State transitions are serialized by a per-job lock, so a cancellation racing
+the dispatcher resolves deterministically: whichever of
+:meth:`Job.mark_cancelled` and :meth:`Job.mark_running` runs first wins, and
+the loser observes it.  A job cancelled in that window reports ``CANCELLED``
+and its work is skipped instead of executed.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     _completed: threading.Event = field(default_factory=threading.Event, repr=False)
+    _transitions: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def done(self) -> bool:
@@ -90,34 +98,64 @@ class Job:
 
     # -- state transitions (service-internal) ----------------------------------
 
-    def mark_running(self) -> None:
-        self.status = JobStatus.RUNNING
-        self.started_at = time.time()
+    def mark_running(self) -> bool:
+        """Claim the job for execution: ``QUEUED -> RUNNING``.
+
+        Returns False — and the caller must skip the work — when the job is no
+        longer claimable, i.e. it was cancelled (or otherwise completed) after
+        being drained from the queue but before dispatch reached it.
+        """
+        with self._transitions:
+            if self.status is not JobStatus.QUEUED:
+                return False
+            self.status = JobStatus.RUNNING
+            self.started_at = time.time()
+            return True
 
     def mark_done(self, value: Any) -> None:
-        self.result_value = value
-        self.status = JobStatus.DONE
-        self.finished_at = time.time()
-        self._completed.set()
+        """Complete the job; a no-op if it already reached a terminal state
+        (e.g. a coalesced follower cancelled while its shared batch ran)."""
+        with self._transitions:
+            if self._completed.is_set():
+                return
+            self.result_value = value
+            self.status = JobStatus.DONE
+            self.finished_at = time.time()
+            self._completed.set()
 
     def mark_failed(self, error: BaseException) -> None:
-        self.error = error
-        self.status = JobStatus.FAILED
-        self.finished_at = time.time()
-        self._completed.set()
+        with self._transitions:
+            if self._completed.is_set():
+                return
+            self.error = error
+            self.status = JobStatus.FAILED
+            self.finished_at = time.time()
+            self._completed.set()
 
-    def mark_cancelled(self, reason: str = "service shut down") -> None:
-        self.error = RuntimeError(reason)
-        self.status = JobStatus.CANCELLED
-        self.finished_at = time.time()
-        self._completed.set()
+    def mark_cancelled(self, reason: str = "service shut down") -> bool:
+        """Cancel the job if it has not started; True when this call won.
+
+        Only ``QUEUED`` jobs are cancellable — once a worker claimed the job
+        via :meth:`mark_running` (or it completed) cancellation returns False.
+        """
+        with self._transitions:
+            if self.status is not JobStatus.QUEUED:
+                return False
+            self.error = RuntimeError(reason)
+            self.status = JobStatus.CANCELLED
+            self.finished_at = time.time()
+            self._completed.set()
+            return True
 
     def summary(self) -> dict[str, Any]:
-        """JSON-friendly status view (the ``repro`` CLI and tests use this)."""
+        """JSON-friendly status view (the CLI, HTTP API and tests use this)."""
         return {
             "id": self.id,
             "kind": self.kind.value,
             "label": self.label,
             "status": self.status.value,
             "error": str(self.error) if self.error is not None else None,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
         }

@@ -20,12 +20,26 @@ pool:
 Because submission batches naturally (callers enqueue a sweep's worth of jobs
 before blocking on results), coalescing needs no artificial delay: the
 scheduler grabs everything queued at each wakeup.
+
+Two properties matter once several *clients* (threads, or remote HTTP
+clients via :mod:`repro.serve.http`) share one service:
+
+* **Single-flight simulation.**  Identical simulation requests arriving in
+  different scheduler drains attach to the in-flight batch for their cache
+  key instead of re-simulating, so N clients submitting the same sweep cost
+  one simulation per unique key — deterministically, not just when their
+  submissions happen to land in one drain.
+* **Cancellation.**  :meth:`EvaluationService.cancel` cancels a job that has
+  not started.  The race against dispatch is resolved by the per-job
+  transition lock: a job cancelled after the scheduler drained it but before
+  a worker claimed it reports ``CANCELLED`` and its work is skipped.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+from collections import Counter
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Mapping
 
@@ -33,7 +47,7 @@ from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import WorkloadTrace
 from ..core.experiments import ensure_picklable
-from ..core.report_cache import DEFAULT_REPORT_CACHE, ReportCache
+from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
 from .jobs import Job, JobKind, JobStatus
 from .scheduler import SimulationRequest, coalesce_requests, run_batched
 
@@ -76,7 +90,9 @@ class EvaluationService:
         self.history_limit = history_limit
         # Explicit None check: an empty ReportCache is falsy (it has __len__).
         self.cache = DEFAULT_REPORT_CACHE if cache is None else cache
-        self._threads = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="repro-serve")
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
         self._process_workers = process_workers
         self._process_pool: ProcessPoolExecutor | None = None
         self._jobs: dict[str, Job] = {}
@@ -84,6 +100,13 @@ class EvaluationService:
         self._condition = threading.Condition()
         self._closed = False
         self._ids = itertools.count(1)
+        self._submitted: Counter[str] = Counter()
+        # Single-flight registry: cache key of every simulation batch currently
+        # in flight -> follower jobs attached to it (completed with the batch).
+        self._inflight: dict[CacheKey, list[Job]] = {}
+        self._inflight_lock = threading.Lock()
+        self.coalesced_attached = 0
+        self.cancelled_count = 0
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
         )
@@ -105,6 +128,7 @@ class EvaluationService:
             if self._closed:
                 raise RuntimeError("evaluation service is closed")
             self._jobs[job.id] = job
+            self._submitted[job.kind.value] += 1
             self._retire_completed_locked()
             self._queue.append((job, payload))
             self._condition.notify()
@@ -185,6 +209,44 @@ class EvaluationService:
         """Block for one job's result (raises on failure; see :meth:`Job.result`)."""
         return self.job(job_id).result(timeout)
 
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started running.
+
+        Returns True when the job was cancelled (it will report
+        ``CANCELLED`` and its work is skipped), False when it already
+        started, completed, or was cancelled before.  Raises :class:`KeyError`
+        for unknown ids.  The per-job transition lock makes the race against
+        the dispatcher safe: a job cancelled after the scheduler drained it
+        but before a worker claimed it still cancels cleanly.
+        """
+        with self._condition:
+            job = self.job(job_id)
+            cancelled = job.mark_cancelled("cancelled by client request")
+            if cancelled:
+                self._queue = [(j, p) for j, p in self._queue if j is not job]
+                self.cancelled_count += 1
+        return cancelled
+
+    def service_stats(self) -> dict[str, Any]:
+        """Counters for health endpoints: traffic by kind, queue and coalescing."""
+        with self._condition:
+            submitted = dict(self._submitted)
+            queued = len(self._queue)
+            status_counts = Counter(job.status.value for job in self._jobs.values())
+            closed = self._closed
+        with self._inflight_lock:
+            attached = self.coalesced_attached
+            inflight = len(self._inflight)
+        return {
+            "submitted": submitted,
+            "queued": queued,
+            "jobs_by_status": dict(status_counts),
+            "coalesced_attached": attached,
+            "inflight_keys": inflight,
+            "cancelled": self.cancelled_count,
+            "closed": closed,
+        }
+
     def wait_all(self, jobs: Iterable[Job] | None = None, timeout: float | None = None) -> bool:
         """Wait for the given jobs (default: all submitted); False on timeout."""
         import time as _time
@@ -219,31 +281,110 @@ class EvaluationService:
             if job.kind is JobKind.SIMULATION:
                 simulations.append((job, payload))
             elif job.kind is JobKind.SAMPLING:
-                self._dispatch_pool_job(job, payload, self._processes())
+                self._dispatch_process_job(job, payload)
             else:
-                self._dispatch_pool_job(job, payload, self._threads)
+                self._dispatch_thread_job(job, payload)
+        if not simulations:
+            return
 
-        # Coalesce the simulation jobs drained together: each config/energy/
-        # backend group becomes one batched thread-pool task, so groups run in
+        # Single-flight: requests whose cache key already has a batch in
+        # flight (from an earlier drain, e.g. another client submitting the
+        # same sweep) attach as followers and are completed with that batch.
+        # Everything else becomes a leader and registers its key.
+        leaders: list[tuple[Job, SimulationRequest]] = []
+        with self._inflight_lock:
+            for job, request in simulations:
+                followers = self._inflight.get(request.key())
+                if followers is not None:
+                    followers.append(job)
+                    self.coalesced_attached += 1
+                else:
+                    self._inflight[request.key()] = []
+                    leaders.append((job, request))
+
+        # Coalesce the leaders drained together: each config/energy/backend
+        # group becomes one batched thread-pool task, so groups run in
         # parallel while traces inside a group share a single NumPy pass.
-        requests_by_id = {id(request): job for job, request in simulations}
-        for group in coalesce_requests([request for _, request in simulations]):
+        requests_by_id = {id(request): job for job, request in leaders}
+        for group in coalesce_requests([request for _, request in leaders]):
             group_jobs = [requests_by_id[id(request)] for request in group]
             self._threads.submit(self._run_simulation_group, group_jobs, group)
 
     def _run_simulation_group(self, jobs: list[Job], requests: list[SimulationRequest]) -> None:
-        for job in jobs:
-            job.mark_running()
-        try:
-            reports = run_batched(requests, cache=self.cache)
-        except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
-            for job in jobs:
-                job.mark_failed(exc)
+        # Claim each leader; a job cancelled between coalescing and this point
+        # is skipped.  Its key stays registered only if followers already
+        # attached (they still need the result) — otherwise it is unregistered
+        # so later identical requests simulate freshly.
+        live_jobs: list[Job | None] = []
+        live_requests: list[SimulationRequest] = []
+        with self._inflight_lock:
+            for job, request in zip(jobs, requests):
+                if job.mark_running():
+                    live_jobs.append(job)
+                    live_requests.append(request)
+                elif self._inflight.get(request.key()):
+                    live_jobs.append(None)
+                    live_requests.append(request)
+                else:
+                    self._inflight.pop(request.key(), None)
+        if not live_requests:
             return
-        for job, report in zip(jobs, reports):
-            job.mark_done(report)
+        try:
+            reports = run_batched(live_requests, cache=self.cache)
+        except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
+            self._finish_group(live_jobs, live_requests, error=exc)
+            return
+        self._finish_group(live_jobs, live_requests, reports=reports)
 
-    def _dispatch_pool_job(self, job: Job, payload: Any, pool: Any) -> None:
+    def _finish_group(
+        self,
+        jobs: list[Job | None],
+        requests: list[SimulationRequest],
+        reports: list[Any] | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Complete a batch's leader jobs and every follower attached to its keys."""
+        with self._inflight_lock:
+            followers = {
+                key: self._inflight.pop(key, []) for key in {r.key() for r in requests}
+            }
+        if error is not None:
+            for job in jobs:
+                if job is not None:
+                    job.mark_failed(error)
+            for attached in followers.values():
+                for job in attached:
+                    job.mark_failed(error)
+            return
+        assert reports is not None
+        reports_by_key = {
+            request.key(): report for request, report in zip(requests, reports)
+        }
+        for job, report in zip(jobs, reports):
+            if job is not None:
+                job.mark_done(report)
+        for key, attached in followers.items():
+            for job in attached:
+                job.mark_done(reports_by_key[key])
+
+    def _dispatch_thread_job(self, job: Job, payload: Any) -> None:
+        fn, args, kwargs = payload
+        try:
+            self._threads.submit(self._run_thread_job, job, fn, args, kwargs)
+        except Exception as exc:  # noqa: BLE001 - e.g. submitting to a broken pool
+            job.mark_failed(exc)
+
+    def _run_thread_job(self, job: Job, fn: Callable[..., Any], args: tuple, kwargs: dict) -> None:
+        if not job.mark_running():  # cancelled while waiting for a worker
+            return
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - recorded on the job
+            job.mark_failed(exc)
+        else:
+            job.mark_done(result)
+
+    def _dispatch_process_job(self, job: Job, payload: Any) -> None:
         fn, args, kwargs = payload
 
         def complete(future: Future) -> None:
@@ -253,9 +394,13 @@ class EvaluationService:
             else:
                 job.mark_done(future.result())
 
-        job.mark_running()
+        # Process-pool payloads must be picklable, so the cancellation check
+        # happens here (closures cannot cross the process boundary): sampling
+        # jobs are cancellable only while still in the service queue.
+        if not job.mark_running():
+            return
         try:
-            future = pool.submit(fn, *args, **kwargs)
+            future = self._processes().submit(fn, *args, **kwargs)
         except Exception as exc:  # noqa: BLE001 - e.g. submitting to a broken pool
             job.mark_failed(exc)
             return

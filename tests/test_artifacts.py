@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -28,7 +32,10 @@ def store(tmp_path) -> ArtifactStore:
 @pytest.fixture()
 def small_trace():
     return [
-        [random_workload(in_channels=16, spatial=4, seed=s * 3 + l, name=f"l{l}") for l in range(2)]
+        [
+            random_workload(in_channels=16, spatial=4, seed=s * 3 + n, name=f"l{n}")
+            for n in range(2)
+        ]
         for s in range(2)
     ]
 
@@ -117,6 +124,136 @@ class TestArtifactStore:
         store = default_artifact_store()
         assert store is not None
         assert store.root == (tmp_path / "env-store").resolve()
+
+
+class TestEviction:
+    @staticmethod
+    def _fill(store: ArtifactStore, count: int, payload_bytes: int = 2048) -> list[str]:
+        keys = [ArtifactStore.key_for(f"artifact-{i}") for i in range(count)]
+        for i, key in enumerate(keys):
+            store.put("report", key, os.urandom(payload_bytes))
+            # Distinct, strictly increasing last-use stamps so LRU order is
+            # deterministic regardless of filesystem timestamp granularity.
+            path = store.path_for("report", key)
+            os.utime(path, (time.time() - 1000 + i, time.time() - 1000 + i))
+        return keys
+
+    def test_size_cap_evicts_least_recently_used_first(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        keys = self._fill(store, 6)
+        cap = store.total_bytes() // 2
+        result = store.evict(max_bytes=cap)
+        assert result.removed > 0
+        assert store.total_bytes() <= cap
+        assert result.remaining_bytes == store.total_bytes()
+        # the oldest artifacts went first; the newest are still here
+        assert not store.contains("report", keys[0])
+        assert store.contains("report", keys[-1])
+        assert store.stats.evicted == result.removed
+        assert store.stats.evicted_bytes == result.reclaimed_bytes
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        keys = self._fill(store, 4)
+        assert store.get("report", keys[0]) is not None  # touch the oldest
+        per_artifact = store.total_bytes() // 4
+        store.evict(max_bytes=2 * per_artifact + per_artifact // 2)
+        assert store.contains("report", keys[0]), "touched artifact was evicted"
+        assert not store.contains("report", keys[1])
+
+    def test_ttl_expires_stale_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", ttl_seconds=60)
+        keys = self._fill(store, 3)  # stamped ~1000s in the past
+        fresh_key = ArtifactStore.key_for("fresh")
+        store.put("report", fresh_key, b"fresh")
+        result = store.evict()
+        assert result.removed == 3
+        assert store.contains("report", fresh_key)
+        for key in keys:
+            assert not store.contains("report", key)
+        assert store.stats.evicted >= 3
+
+    def test_put_triggers_ttl_eviction_after_throttle_window(self, tmp_path):
+        """The write path runs TTL passes on its own (throttled to ttl/4)."""
+        store = ArtifactStore(tmp_path / "s", ttl_seconds=0.05)
+        old_key = ArtifactStore.key_for("old")
+        store.put("report", old_key, b"old")
+        time.sleep(0.2)  # > ttl and > the ttl/4 throttle window
+        new_key = ArtifactStore.key_for("new")
+        store.put("report", new_key, b"new")
+        assert not store.contains("report", old_key)
+        assert store.contains("report", new_key)
+
+    def test_put_auto_evicts_to_size_cap(self, tmp_path):
+        cap = 16 * 1024
+        store = ArtifactStore(tmp_path / "s", max_bytes=cap)
+        for i in range(20):
+            store.put("report", ArtifactStore.key_for(f"auto-{i}"), os.urandom(2048))
+        assert store.total_bytes() <= cap
+        assert 0 < store.count() < 20
+
+    def test_size_cap_under_concurrent_writers(self, tmp_path):
+        """Acceptance: the store never exceeds its cap once eviction runs,
+        even with many threads writing at once."""
+        cap = 32 * 1024
+        store = ArtifactStore(tmp_path / "s", max_bytes=cap)
+        errors: list[Exception] = []
+
+        def writer(worker: int) -> None:
+            try:
+                for i in range(10):
+                    key = ArtifactStore.key_for(f"w{worker}", f"a{i}")
+                    store.put("report", key, os.urandom(4096))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        store.evict()
+        assert store.total_bytes() <= cap
+        assert store.count() > 0
+
+    def test_evicted_report_falls_back_to_resimulation(self, tmp_path, small_trace):
+        """An evicted artifact is a miss, not an error: callers recompute."""
+        store = ArtifactStore(tmp_path / "s")
+        cache = ReportCache(store=store)
+        before = cache.get_or_run(sqdm_config(), small_trace)
+        assert store.count("report") == 1
+        result = store.evict(max_bytes=1)  # evict everything
+        assert result.removed == 1 and store.count("report") == 0
+
+        fresh = ReportCache(store=store)  # fresh memory tier, post-eviction disk
+        after = fresh.get_or_run(sqdm_config(), small_trace)
+        assert fresh.stats.misses == 1 and fresh.stats.disk_hits == 0
+        assert after.total_cycles == before.total_cycles
+        assert store.count("report") == 1  # re-persisted for the next process
+
+    def test_env_var_defaults(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_MAX_BYTES", "4096")
+        monkeypatch.setenv("REPRO_ARTIFACT_TTL", "60.5")
+        store = ArtifactStore(tmp_path / "env")
+        assert store.max_bytes == 4096
+        assert store.ttl_seconds == 60.5
+        monkeypatch.setenv("REPRO_ARTIFACT_MAX_BYTES", "a-lot")
+        with pytest.raises(ValueError, match="REPRO_ARTIFACT_MAX_BYTES"):
+            ArtifactStore(tmp_path / "env2")
+
+    def test_invalid_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactStore(tmp_path / "bad", max_bytes=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ArtifactStore(tmp_path / "bad", ttl_seconds=-1)
+
+    def test_evict_without_policy_is_a_no_op(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        self._fill(store, 2)
+        result = store.evict()
+        assert result.removed == 0
+        assert result.remaining_artifacts == 2
 
 
 class TestTwoTierReportCache:

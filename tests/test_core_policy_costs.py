@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.costs import cost_summary, high_precision_cost_fraction, layer_cost_table
@@ -15,7 +14,7 @@ from repro.core.policy import (
 )
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.unet import BLOCK_CONV, EDMUNet, UNetConfig
-from repro.quant import int4_spec, mxint8_spec
+from repro.quant import int4_spec
 
 
 @pytest.fixture()

@@ -117,7 +117,10 @@ class TestSchedulerAnalyses:
     @pytest.fixture(scope="class")
     def synthetic_hw_trace(self):
         return [
-            [random_workload(in_channels=48, mean_sparsity=0.65, seed=7 * t + l, name=f"l{l}") for l in range(2)]
+            [
+                random_workload(in_channels=48, mean_sparsity=0.65, seed=7 * t + n, name=f"l{n}")
+                for n in range(2)
+            ]
             for t in range(4)
         ]
 

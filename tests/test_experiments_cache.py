@@ -93,7 +93,10 @@ class TestRunSweep:
 @pytest.fixture()
 def small_trace():
     return [
-        [random_workload(in_channels=16, spatial=4, seed=s * 3 + l, name=f"l{l}") for l in range(2)]
+        [
+            random_workload(in_channels=16, spatial=4, seed=s * 3 + n, name=f"l{n}")
+            for n in range(2)
+        ]
         for s in range(2)
     ]
 

@@ -1,0 +1,318 @@
+"""Tests for the HTTP front end and the remote evaluation client."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.accelerator import AcceleratorSimulator, dense_baseline_config, sqdm_config
+from repro.core.artifacts import ArtifactStore
+from repro.core.experiments import run_sweep
+from repro.core.report_cache import ReportCache
+from repro.serve import (
+    EvaluationService,
+    JobFailedError,
+    JobStatus,
+    RemoteEvaluationClient,
+    RemoteServiceError,
+    start_http_server,
+)
+from repro.serve.cli import main as cli_main
+
+from test_serve import _module_level_boom, _module_level_square, make_trace
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live HTTP server over a fresh service + artifact store."""
+    store = ArtifactStore(tmp_path / "artifacts")
+    cache = ReportCache(store=store)
+    service = EvaluationService(cache=cache, max_workers=4)
+    server = start_http_server(service, port=0)
+    client = RemoteEvaluationClient(server.endpoint, poll_interval=0.01)
+    try:
+        yield client, service, store, server
+    finally:
+        server.close()
+        service.close(cancel_queued=True)
+
+
+def _module_level_wait_forever(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        client, _, store, _ = served
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["store"] == str(store.root)
+        assert health["service"]["closed"] is False
+
+    def test_cache_stats_shape(self, served):
+        client, _, _, _ = served
+        stats = client.cache_stats()
+        assert set(stats["cache"]) >= {"memory_hits", "disk_hits", "misses", "hit_rate"}
+        assert stats["store"]["total_artifacts"] == 0
+        assert stats["service"]["submitted"] == {}
+
+    def test_unknown_paths_and_kinds(self, served):
+        client, _, _, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.endpoint}/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(RemoteServiceError, match="unknown job kind"):
+            client._submit("warp", (None, (), {}), "bad")
+        with pytest.raises(RemoteServiceError, match="payload"):
+            client._request("POST", "/jobs", {"kind": "callable"})
+        with pytest.raises(RemoteServiceError, match=r"bad simulation job payload.*HTTP 400"):
+            client._submit("simulation", {"trace": []}, "no-config")  # missing 'config'
+        with pytest.raises(ValueError, match="picklable"):
+            client.submit(lambda: 1)  # rejected client-side, nothing hits the wire
+
+    def test_evict_endpoint(self, served):
+        client, _, store, _ = served
+        for i in range(4):
+            store.put("report", ArtifactStore.key_for(f"r{i}"), os.urandom(2048))
+        result = client.evict(max_bytes=1)
+        assert result["removed"] == 4
+        assert store.count() == 0
+
+
+class TestRemoteJobs:
+    def test_callable_roundtrip(self, served):
+        client, _, _, _ = served
+        job = client.submit(_module_level_square, 9)
+        assert job.result(timeout=30) == 81
+        assert job.ok and job.done
+        assert client.status(job.id) is JobStatus.DONE
+        assert client.result(job.id, timeout=30) == 81
+
+    def test_failed_job_surfaces_server_error(self, served):
+        client, _, _, _ = served
+        job = client.submit(_module_level_boom)
+        assert job.wait(30)
+        assert job.status is JobStatus.FAILED
+        with pytest.raises(JobFailedError, match="boom"):
+            job.result()
+
+    def test_unknown_job_raises_keyerror(self, served):
+        client, _, _, _ = served
+        with pytest.raises(KeyError):
+            client.job("job-9999")
+        with pytest.raises(KeyError):
+            client.cancel("job-9999")
+
+    def test_jobs_listing(self, served):
+        client, _, _, _ = served
+        submitted = [client.submit(_module_level_square, i) for i in range(3)]
+        assert client.wait_all(submitted, timeout=30)
+        listed = {job.id for job in client.jobs()}
+        assert {job.id for job in submitted} <= listed
+
+    def test_cancel_pending_job(self, served):
+        client, service, _, _ = served
+        blockers = [client.submit(_module_level_wait_forever, 0.5) for _ in range(4)]
+        victim = client.submit(_module_level_square, 5)
+        cancelled = victim.cancel()
+        assert client.wait_all([*blockers, victim], timeout=30)
+        if cancelled:  # won the race: the job must report cancelled, not run
+            assert victim.status is JobStatus.CANCELLED
+            with pytest.raises(JobFailedError, match="cancel"):
+                victim.result()
+        else:  # lost the race benignly: it ran before the cancel arrived
+            assert victim.result(timeout=30) == 25
+
+    def test_simulation_job_matches_local_run(self, served):
+        client, _, _, _ = served
+        trace = make_trace(21)
+        job = client.submit_simulation(sqdm_config(), trace)
+        report = job.result(timeout=120)
+        expected = AcceleratorSimulator(sqdm_config()).run_trace(trace)
+        assert report.total_cycles == expected.total_cycles
+        assert report.total_energy.total_pj == expected.total_energy.total_pj
+
+
+class TestMultiClientCoalescing:
+    def test_two_clients_one_server_simulate_each_key_once(self, served):
+        """Acceptance: concurrent remote clients submitting the same sweep
+        coalesce through the scheduler — one simulation per unique key."""
+        client_a, service, _, server = served
+        client_b = RemoteEvaluationClient(server.endpoint, poll_interval=0.01)
+        traces = [make_trace(seed) for seed in range(2)]
+        configs = [sqdm_config(), dense_baseline_config()]
+        results: dict[str, list] = {}
+
+        def sweep(name: str, client: RemoteEvaluationClient) -> None:
+            jobs = [
+                client.submit_simulation(config, trace)
+                for config in configs
+                for trace in traces
+            ]
+            results[name] = [job.result(timeout=120) for job in jobs]
+
+        threads = [
+            threading.Thread(target=sweep, args=("a", client_a)),
+            threading.Thread(target=sweep, args=("b", client_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(results["a"]) == len(results["b"]) == 4
+        for report_a, report_b in zip(results["a"], results["b"]):
+            assert report_a.total_cycles == report_b.total_cycles
+        # 8 submissions, 4 unique (config, trace) keys: single-flight +
+        # cache guarantee exactly one simulation per key.
+        assert service.cache.stats.misses == 4
+        stats = service.service_stats()
+        assert stats["submitted"]["simulation"] == 8
+
+    def test_warm_restarted_server_serves_from_store(self, tmp_path):
+        """A new server over the same artifact dir re-simulates nothing."""
+        root = tmp_path / "shared-store"
+        trace = make_trace(31)
+
+        def run_once() -> tuple:
+            store = ArtifactStore(root)
+            service = EvaluationService(cache=ReportCache(store=store), max_workers=2)
+            server = start_http_server(service, port=0)
+            client = RemoteEvaluationClient(server.endpoint, poll_interval=0.01)
+            try:
+                report = client.submit_simulation(sqdm_config(), trace).result(timeout=120)
+                return report, service.cache.stats
+            finally:
+                server.close()
+                service.close()
+
+        cold_report, cold_stats = run_once()
+        warm_report, warm_stats = run_once()
+        assert cold_stats.misses == 1
+        assert warm_stats.misses == 0 and warm_stats.disk_hits == 1
+        assert warm_report.total_cycles == cold_report.total_cycles
+
+
+class TestRemoteSweeps:
+    def test_run_sweep_remote_executor(self, served):
+        client, _, _, server = served
+        result = run_sweep(
+            _module_level_square, {"x": [2, 3, 4]}, executor="remote", endpoint=server.endpoint
+        )
+        assert result.values() == [4, 9, 16]
+
+    def test_run_sweep_remote_with_shared_client(self, served):
+        client, _, _, _ = served
+        result = run_sweep(
+            _module_level_square, {"x": [5, 6]}, executor="remote", service=client
+        )
+        assert result.values() == [25, 36]
+
+    def test_run_sweep_remote_captures_failures(self, served):
+        client, _, _, _ = served
+        result = run_sweep(
+            _remote_flaky,
+            {"i": [0, 1, 2]},
+            executor="remote",
+            service=client,
+            on_error="capture",
+        )
+        assert [case.ok for case in result.cases] == [True, False, True]
+        assert "nope" in str(result.cases[1].error)
+
+    def test_run_sweep_remote_requires_endpoint(self):
+        with pytest.raises(ValueError, match="endpoint"):
+            run_sweep(_module_level_square, {"x": [1]}, executor="remote")
+
+    def test_run_sweep_remote_rejects_unpicklable_fn(self, served):
+        client, _, _, _ = served
+        captured = []
+        with pytest.raises(ValueError, match="picklable case function"):
+            run_sweep(
+                lambda i: captured.append(i), {"i": [0]}, executor="remote", service=client
+            )
+
+
+def _remote_flaky(i):
+    if i == 1:
+        raise RuntimeError("nope")
+    return i
+
+
+class TestCLIRemote:
+    def test_cli_sweep_against_endpoint_matches_in_process(self, tmp_path, served):
+        client, service, _, server = served
+        scale = [
+            "--workload", "cifar10",
+            "--resolution", "8",
+            "--sampling-steps", "2",
+            "--trace-samples", "1",
+            "--reference-samples", "16",
+            "--fid-samples", "4",
+            "--param", "sparsity_threshold=0.2,0.4",
+        ]
+        remote_json = tmp_path / "remote.json"
+        local_json = tmp_path / "local.json"
+        assert cli_main(
+            [
+                "sweep", *scale,
+                "--endpoint", server.endpoint,
+                "--json", str(remote_json),
+            ]
+        ) == 0
+        assert cli_main(
+            [
+                "sweep", *scale,
+                "--artifact-dir", str(tmp_path / "local-artifacts"),
+                "--json", str(local_json),
+            ]
+        ) == 0
+        remote = json.loads(remote_json.read_text())
+        local = json.loads(local_json.read_text())
+        assert remote["cases"] == local["cases"], "remote diverged from in-process service"
+        assert remote["baseline_cycles"] == local["baseline_cycles"]
+        assert remote["endpoint"] == server.endpoint
+        assert remote["cache"]["misses"] == 3  # baseline + two cases, cold
+        assert remote["cache"]["server"]["service"]["submitted"]["simulation"] == 3
+
+    def test_serve_cli_starts_and_shuts_down(self, tmp_path):
+        import repro
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve.cli",
+                "serve",
+                "--port", "0",
+                "--artifact-dir", str(tmp_path / "artifacts"),
+                "--max-bytes", "1000000",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening on http://" in line
+            endpoint = line.strip().split("listening on ")[-1]
+            health = RemoteEvaluationClient(endpoint, retries=8).health()
+            assert health["status"] == "ok"
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -26,6 +27,7 @@ from repro.serve import (
     coalesce_requests,
     run_batched,
 )
+from repro.serve import service as service_module
 from repro.serve.cli import main as cli_main
 
 
@@ -35,10 +37,10 @@ def make_trace(seed: int, steps: int = 3, layers: int = 2, in_channels: int = 24
             random_workload(
                 in_channels=in_channels,
                 spatial=6,
-                seed=seed * 100 + 10 * s + l,
-                name=f"layer{l}",
+                seed=seed * 100 + 10 * s + layer,
+                name=f"layer{layer}",
             )
-            for l in range(layers)
+            for layer in range(layers)
         ]
         for s in range(steps)
     ]
@@ -255,6 +257,122 @@ class TestEvaluationService:
             assert jobs[0].result_value == 0
             with pytest.raises(KeyError):
                 service.job(jobs[0].id)
+
+
+def _module_level_wait(event):
+    event.wait(30)
+    return "ran"
+
+
+class TestCancellation:
+    def test_cancel_between_coalescing_and_dispatch(self, monkeypatch):
+        """Regression: a pending job cancelled after the scheduler drained it
+        (so it is no longer in the queue) but before a worker claimed it must
+        report CANCELLED and must not be simulated."""
+        drained, proceed = threading.Event(), threading.Event()
+        original_coalesce = service_module.coalesce_requests
+
+        def gated(requests):
+            groups = original_coalesce(requests)
+            if requests:  # only gate the drain that carries our job
+                drained.set()
+                proceed.wait(30)
+            return groups
+
+        monkeypatch.setattr(service_module, "coalesce_requests", gated)
+
+        simulated: list[int] = []
+        original_run = AcceleratorSimulator.run_traces
+
+        def counting(self, traces):
+            simulated.append(len(traces))
+            return original_run(self, traces)
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+
+        with EvaluationService(cache=ReportCache(), max_workers=2) as service:
+            job = service.submit_simulation(sqdm_config(), make_trace(1))
+            assert drained.wait(30), "scheduler never drained the queue"
+            assert service.cancel(job.id) is True
+            proceed.set()
+            assert job.wait(30)
+            assert job.status is JobStatus.CANCELLED
+            with pytest.raises(JobFailedError, match="cancel"):
+                job.result()
+        assert simulated == [], "cancelled job was simulated anyway"
+
+    def test_cancelled_callable_never_runs(self):
+        """A callable queued behind a busy pool is cancellable until it starts."""
+        gate = threading.Event()
+        ran: list[int] = []
+        with EvaluationService(max_workers=1) as service:
+            blocker = service.submit(_module_level_wait, gate)
+            victims = [service.submit(ran.append, i) for i in range(3)]
+            cancelled = [service.cancel(job.id) for job in victims]
+            gate.set()
+            blocker.wait(30)
+        assert all(cancelled)
+        assert ran == []
+        assert all(job.status is JobStatus.CANCELLED for job in victims)
+
+    def test_cancel_finished_job_returns_false(self):
+        with EvaluationService(max_workers=1) as service:
+            job = service.submit(_module_level_square, 3)
+            assert job.result(timeout=30) == 9
+            assert service.cancel(job.id) is False
+            assert job.status is JobStatus.DONE
+            with pytest.raises(KeyError):
+                service.cancel("job-9999")
+
+    def test_cancelled_count_in_service_stats(self):
+        gate = threading.Event()
+        with EvaluationService(max_workers=1) as service:
+            blocker = service.submit(_module_level_wait, gate)
+            victim = service.submit(_module_level_square, 1)
+            assert service.cancel(victim.id)
+            stats = service.service_stats()
+            gate.set()
+            blocker.wait(30)
+        assert stats["cancelled"] == 1
+        assert stats["submitted"]["callable"] == 2
+
+
+class TestSingleFlight:
+    def test_duplicate_requests_across_drains_simulate_once(self, monkeypatch):
+        """Identical simulation jobs arriving while their batch is in flight
+        attach to it instead of re-simulating (N clients, one sweep)."""
+        release = threading.Event()
+        simulated: list[int] = []
+        original_run = AcceleratorSimulator.run_traces
+
+        def slow_counting(self, traces):
+            release.wait(30)
+            simulated.append(len(traces))
+            return original_run(self, traces)
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", slow_counting)
+
+        trace = make_trace(11)
+        cache = ReportCache()
+        with EvaluationService(cache=cache, max_workers=4) as service:
+            first = service.submit_simulation(sqdm_config(), trace)
+            # Wait until the first job's batch is claimed, then submit
+            # duplicates in later drains; they must attach, not re-simulate.
+            deadline = time.monotonic() + 30
+            while first.status is not JobStatus.RUNNING and time.monotonic() < deadline:
+                time.sleep(0.005)
+            followers = [service.submit_simulation(sqdm_config(), trace) for _ in range(3)]
+            while (
+                service.service_stats()["coalesced_attached"] < 3
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            release.set()
+            reports = [job.result(timeout=60) for job in (first, *followers)]
+        assert simulated == [1], f"expected one batched pass, saw {simulated}"
+        assert cache.stats.misses == 1
+        assert all(report.total_cycles == reports[0].total_cycles for report in reports)
+        assert service.service_stats()["coalesced_attached"] == 3
 
 
 class TestServiceExecutorSweeps:
