@@ -10,7 +10,12 @@ shape of a fleet evaluation service:
    single-flight scheduler coalesces their identical requests, so each
    unique (config, trace) pair is simulated exactly once;
 3. restart the server over the same artifact directory and re-run the
-   sweep — everything is served from disk with zero re-simulation.
+   sweep — everything is served from disk with zero re-simulation;
+4. submit one *grid description* (:class:`~repro.serve.specs.SweepJobSpec`)
+   and let the server plan, coalesce and batch the design points.
+
+Everything crosses the wire as versioned, schema-tagged JSON — no pickles —
+so any HTTP client (curl included) could drive the same flows.
 
 The same flows are available from the command line::
 
@@ -31,7 +36,12 @@ import threading
 from repro.accelerator import dense_baseline_config, random_workload, sqdm_config
 from repro.core.artifacts import ArtifactStore
 from repro.core.report_cache import ReportCache
-from repro.serve import EvaluationService, RemoteEvaluationClient, start_http_server
+from repro.serve import (
+    EvaluationService,
+    RemoteEvaluationClient,
+    SweepJobSpec,
+    start_http_server,
+)
 
 
 def build_traces(num_traces: int = 6, steps: int = 4, layers: int = 4):
@@ -103,7 +113,25 @@ def main() -> None:
         )
         print(
             f"warm re-run: {stats.misses} simulated, {stats.disk_hits} disk hits "
-            f"({stats.hit_rate:.0%} hit rate); identical reports: {identical}"
+            f"({stats.hit_rate:.0%} hit rate); identical reports: {identical}\n"
+        )
+
+        print("== Server-side sweep planning: one grid spec, N design points ==")
+        client = RemoteEvaluationClient(server.endpoint)
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.1, 0.3, 0.5]},
+            trace=traces[0],
+            baseline=dense_baseline_config(),
+            name="threshold-grid",
+        )
+        outcome = client.submit_sweep(spec).result(timeout=600)
+        for params, report in zip(outcome.params, outcome.reports):
+            speedup = outcome.baseline.total_cycles / report.total_cycles
+            print(f"  {params}: {report.total_time_ms:.3f} ms ({speedup:.2f}x vs dense)")
+        print(
+            f"one sweep job -> {len(outcome.reports)} planned cases; "
+            f"{service.cache.stats.misses} simulated this restart"
         )
         server.close()
         service.close()

@@ -1,8 +1,10 @@
 """SQ-DM core: the paper's contribution (mixed-precision + temporal sparsity co-design)."""
 
+from . import codec
 from .artifacts import (
     ArtifactStore,
     ArtifactStoreStats,
+    MigrationResult,
     artifact_store_at,
     default_artifact_store,
 )
@@ -58,6 +60,7 @@ __all__ = [
     "HardwareEvaluation",
     "LayerAssignment",
     "LayerCost",
+    "MigrationResult",
     "PipelineConfig",
     "QuantizationEvaluation",
     "QuantizationPolicy",
@@ -74,6 +77,7 @@ __all__ = [
     "analyze_update_period",
     "artifact_store_at",
     "best_threshold",
+    "codec",
     "default_artifact_store",
     "collect_sparsity_trace",
     "cost_summary",

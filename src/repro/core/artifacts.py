@@ -27,13 +27,29 @@ Robustness contract:
   caller recomputes instead of crashing.
 
 * **Bounded disk usage** — a store may carry an eviction policy: a
-  ``max_bytes`` size cap (LRU by last use, tracked via file access times
-  refreshed on every hit) and/or a ``ttl_seconds`` age limit.  Both run
-  automatically after every write and on demand via :meth:`ArtifactStore.evict`
-  (``repro cache evict`` from the command line), so a long-running evaluation
-  server does not grow its artifact directory without bound.  Evicting an
-  entry is always safe: the caches treat the missing artifact as a miss and
-  recompute.
+  ``max_bytes`` size cap (LRU by last use) and/or a ``ttl_seconds`` age
+  limit.  Last-use timestamps live in the store's *own metadata* (a tiny
+  ``<key>.art.used`` stamp next to each artifact, refreshed on every hit),
+  not in filesystem access times — ``relatime``/``noatime`` mounts freeze
+  atime, which silently degraded LRU into FIFO.  Both policies run
+  automatically after every write and on demand via
+  :meth:`ArtifactStore.evict` (``repro cache evict`` from the command line),
+  so a long-running evaluation server does not grow its artifact directory
+  without bound.  Evicting an entry is always safe: the caches treat the
+  missing artifact as a miss and recompute.
+
+**Payload format** (version 2): artifacts are stored as schema-tagged JSON
+documents (:mod:`repro.core.codec`), with NumPy arrays and bytes split out
+into binary sidecar buffers after the JSON header — no base64 bloat, no
+pickles on disk.  Only types with a registered wire schema (plus plain JSON
+values, bytes and arrays) can be stored.  Old version-1 files, which held
+pickles, are readable only through an explicit opt-in
+(``legacy_pickle=True`` or ``REPRO_ARTIFACT_LEGACY_PICKLE=1``) and are
+otherwise reported as misses; :meth:`ArtifactStore.migrate_legacy`
+(``repro cache migrate``) rewrites a store in place so the opt-in can be
+dropped.  A version-2 file whose schema *version* this process does not
+know is likewise a miss (not corruption): newer writers never crash older
+readers.
 
 Set the ``REPRO_ARTIFACT_DIR`` environment variable to give the process-wide
 report cache (and :class:`~repro.core.pipeline.SQDMPipeline`) a default
@@ -44,6 +60,7 @@ store; see :func:`default_artifact_store`.  ``REPRO_ARTIFACT_MAX_BYTES`` and
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -53,11 +70,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
-#: File-format magic; bump the trailing version when the layout changes so old
-#: processes treat new files as corrupt (recompute) rather than misparse them.
-_MAGIC = b"RPRO-ART1\n"
+from . import codec
+
+#: File-format magics.  The trailing version is bumped when the layout
+#: changes; readers reject versions they do not understand instead of
+#: misparsing them.  Version 1 held pickles and is read-only, behind an
+#: explicit opt-in.
+_MAGIC = b"RPRO-ART2\n"
+_MAGIC_V1 = b"RPRO-ART1\n"
 _DIGEST_BYTES = 32
+_HEADER_LEN_BYTES = 8
 _SUFFIX = ".art"
+_STAMP_SUFFIX = ".art.used"
 
 #: Environment variable naming the default artifact directory.
 ARTIFACT_DIR_ENV_VAR = "REPRO_ARTIFACT_DIR"
@@ -65,6 +89,10 @@ ARTIFACT_DIR_ENV_VAR = "REPRO_ARTIFACT_DIR"
 #: Environment variables providing default eviction caps for new stores.
 MAX_BYTES_ENV_VAR = "REPRO_ARTIFACT_MAX_BYTES"
 TTL_ENV_VAR = "REPRO_ARTIFACT_TTL"
+
+#: Environment variable enabling the legacy pickle *read* path for stores
+#: written before the typed wire schema (anything truthy enables it).
+LEGACY_PICKLE_ENV_VAR = "REPRO_ARTIFACT_LEGACY_PICKLE"
 
 
 def _env_number(name: str, convert: type) -> float | int | None:
@@ -81,12 +109,18 @@ def _env_number(name: str, convert: type) -> float | int | None:
 
 @dataclass
 class ArtifactStoreStats:
-    """Per-store counters, for hit-rate reporting and tests."""
+    """Per-store counters, for hit-rate reporting and tests.
+
+    ``legacy_skipped`` counts reads of version-1 (pickled) artifacts that
+    were refused because the legacy read path is not enabled; they are
+    reported as misses but the files are left in place for migration.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     corrupt_discarded: int = 0
+    legacy_skipped: int = 0
     evicted: int = 0
     evicted_bytes: int = 0
 
@@ -117,6 +151,22 @@ class EvictionResult:
         }
 
 
+@dataclass
+class MigrationResult:
+    """Outcome of one :meth:`ArtifactStore.migrate_legacy` pass."""
+
+    migrated: int = 0
+    already_current: int = 0
+    failed: int = 0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "migrated": self.migrated,
+            "already_current": self.already_current,
+            "failed": self.failed,
+        }
+
+
 class ArtifactStore:
     """Content-addressed persistent artifact storage under one root directory.
 
@@ -129,6 +179,12 @@ class ArtifactStore:
     ttl_seconds:
         Age limit: artifacts not read or written for this long are evicted on
         the next pass (defaults to ``REPRO_ARTIFACT_TTL`` when unset).
+    legacy_pickle:
+        Opt-in *read* support for version-1 artifacts, which stored pickles
+        (defaults to the ``REPRO_ARTIFACT_LEGACY_PICKLE`` environment
+        variable).  Writes always use the typed JSON format; enable this
+        only for stores written by older code, ideally just long enough to
+        run :meth:`migrate_legacy`.
     """
 
     def __init__(
@@ -136,6 +192,7 @@ class ArtifactStore:
         root: str | os.PathLike[str],
         max_bytes: int | None = None,
         ttl_seconds: float | None = None,
+        legacy_pickle: bool | None = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -143,6 +200,14 @@ class ArtifactStore:
             max_bytes = _env_number(MAX_BYTES_ENV_VAR, int)
         if ttl_seconds is None:
             ttl_seconds = _env_number(TTL_ENV_VAR, float)
+        if legacy_pickle is None:
+            legacy_pickle = os.environ.get(LEGACY_PICKLE_ENV_VAR, "").strip().lower() in (
+                "1",
+                "true",
+                "yes",
+                "on",
+            )
+        self.legacy_pickle = bool(legacy_pickle)
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for no size cap)")
         if ttl_seconds is not None and ttl_seconds <= 0:
@@ -189,11 +254,56 @@ class ArtifactStore:
 
     # -- read / write ---------------------------------------------------------
 
+    @staticmethod
+    def _encode_payload(obj: Any) -> bytes:
+        """Serialize one artifact: JSON header + concatenated binary sidecars.
+
+        Layout: an 8-byte little-endian header length, the UTF-8 JSON header
+        ``{"doc": <schema envelope>, "buffers": [len, ...]}``, then the raw
+        sidecar buffers back to back.  Raises
+        :class:`~repro.core.codec.SchemaError` for objects without a
+        registered wire schema — the store never falls back to pickling.
+        """
+        buffers: list[bytes] = []
+        doc = codec.encode(obj, arrays=buffers)
+        header = json.dumps(
+            {"doc": doc, "buffers": [len(buffer) for buffer in buffers]},
+            sort_keys=True,
+        ).encode("utf-8")
+        return b"".join(
+            [len(header).to_bytes(_HEADER_LEN_BYTES, "little"), header, *buffers]
+        )
+
+    @staticmethod
+    def _decode_payload(payload: bytes) -> Any:
+        """Inverse of :meth:`_encode_payload` (raises on any malformation)."""
+        if len(payload) < _HEADER_LEN_BYTES:
+            raise ValueError("artifact payload shorter than its header length field")
+        header_len = int.from_bytes(payload[:_HEADER_LEN_BYTES], "little")
+        header_end = _HEADER_LEN_BYTES + header_len
+        if header_end > len(payload):
+            raise ValueError("artifact header length exceeds payload")
+        header = json.loads(payload[_HEADER_LEN_BYTES:header_end].decode("utf-8"))
+        buffers: list[bytes] = []
+        offset = header_end
+        for length in header["buffers"]:
+            buffers.append(payload[offset : offset + int(length)])
+            offset += int(length)
+        if offset != len(payload):
+            raise ValueError("artifact sidecar buffers do not span the payload")
+        return codec.decode(header["doc"], buffers=buffers)
+
     def put(self, kind: str, key: str, obj: Any) -> Path:
-        """Atomically persist one artifact; concurrent writers are safe."""
+        """Atomically persist one artifact; concurrent writers are safe.
+
+        The object must carry a registered wire schema (or be plain JSON
+        data / bytes / arrays); :class:`~repro.core.codec.SchemaError`
+        propagates otherwise so callers never silently store something no
+        other process can read.
+        """
         path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = self._encode_payload(obj)
         blob = _MAGIC + hashlib.sha256(payload).digest() + payload
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
         try:
@@ -206,6 +316,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        self._write_stamp(path)
         with self._lock:
             self.stats.writes += 1
         if self._should_evict_after_write(len(blob)):
@@ -241,8 +352,12 @@ class ArtifactStore:
         """Load one artifact, returning ``default`` on absence *or* corruption.
 
         Any failure mode of the file — missing, truncated, bad magic, payload
-        checksum mismatch, unpicklable bytes — counts as a miss; corrupt files
-        are additionally deleted so they stop costing a read each lookup.
+        checksum mismatch, undecodable bytes — counts as a miss; corrupt
+        files are additionally deleted so they stop costing a read each
+        lookup.  Two failure modes are misses but *not* corruption (the file
+        is left in place): a version-1 pickled artifact without the legacy
+        opt-in, and a valid file whose schema version this process does not
+        know (written by newer code).
         """
         path = self.path_for(kind, key)
         try:
@@ -252,50 +367,121 @@ class ArtifactStore:
                 self.stats.misses += 1
             return default
 
-        obj, ok = self._decode(blob)
+        obj, status = self._decode(blob)
         with self._lock:
-            if ok:
+            if status == "ok":
                 self.stats.hits += 1
             else:
                 self.stats.misses += 1
-                self.stats.corrupt_discarded += 1
-        if not ok:
+                if status == "corrupt":
+                    self.stats.corrupt_discarded += 1
+                elif status == "legacy":
+                    self.stats.legacy_skipped += 1
+        if status == "corrupt":
             try:
                 path.unlink()
             except OSError:
                 pass
+        if status != "ok":
             return default
-        try:
-            # Refresh access time so LRU eviction sees this artifact as live
-            # even on filesystems mounted with relatime/noatime.
-            os.utime(path)
-        except OSError:
-            pass
+        # Record the hit in the store's own last-use metadata so LRU eviction
+        # keeps working on relatime/noatime mounts where atime never moves.
+        self._write_stamp(path)
         return obj
 
-    @staticmethod
-    def _decode(blob: bytes) -> tuple[Any, bool]:
-        header_len = len(_MAGIC) + _DIGEST_BYTES
-        if len(blob) < header_len or not blob.startswith(_MAGIC):
-            return None, False
-        digest = blob[len(_MAGIC) : header_len]
+    def _decode(self, blob: bytes) -> tuple[Any, str]:
+        """Decode one artifact file; returns ``(obj, status)``.
+
+        ``status`` is ``"ok"``, ``"corrupt"`` (checksum/format failure —
+        quarantine), ``"legacy"`` (valid v1 pickle, legacy reads disabled) or
+        ``"unknown-schema"`` (valid v2 file, unregistered schema version) —
+        everything but ``"ok"`` is served as a miss.
+        """
+        legacy = blob.startswith(_MAGIC_V1)
+        magic = _MAGIC_V1 if legacy else _MAGIC
+        header_len = len(magic) + _DIGEST_BYTES
+        if len(blob) < header_len or not blob.startswith(magic):
+            return None, "corrupt"
+        digest = blob[len(magic) : header_len]
         payload = blob[header_len:]
         if hashlib.sha256(payload).digest() != digest:
-            return None, False
+            return None, "corrupt"
+        if legacy:
+            if not self.legacy_pickle:
+                return None, "legacy"
+            try:
+                return pickle.loads(payload), "ok"
+            except Exception:  # noqa: BLE001 - any unpicklable payload is corruption
+                return None, "corrupt"
         try:
-            return pickle.loads(payload), True
+            return self._decode_payload(payload), "ok"
+        except codec.UnknownSchemaError:
+            return None, "unknown-schema"
         except Exception:  # noqa: BLE001 - any undecodable payload is corruption
-            return None, False
+            return None, "corrupt"
 
     def contains(self, kind: str, key: str) -> bool:
         return self.path_for(kind, key).exists()
 
     def delete(self, kind: str, key: str) -> bool:
+        path = self.path_for(kind, key)
+        self._remove_stamp(path)
         try:
-            self.path_for(kind, key).unlink()
+            path.unlink()
             return True
         except OSError:
             return False
+
+    # -- last-use metadata ------------------------------------------------------
+
+    @staticmethod
+    def _stamp_path(path: Path) -> Path:
+        return path.with_name(path.stem + _STAMP_SUFFIX)
+
+    def _write_stamp(self, path: Path, when: float | None = None) -> None:
+        """Record an artifact's last use in its stamp file's mtime.
+
+        The stamp is an empty marker file; its *modification* time carries
+        the timestamp.  Explicit :func:`os.utime` calls work on any mount —
+        ``relatime``/``noatime`` only suppress implicit read-driven atime
+        updates — so the hot refresh path is one syscall on an existing
+        stamp, with the atomic create reserved for the first use.
+        Best-effort: eviction falls back to the artifact's own mtime.
+        """
+        stamp = self._stamp_path(path)
+        times = None if when is None else (when, when)
+        try:
+            os.utime(stamp, times)
+            return
+        except OSError:
+            pass
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".used-", suffix=".tmp")
+            os.close(fd)
+            if times is not None:
+                os.utime(tmp_name, times)
+            os.replace(tmp_name, stamp)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _remove_stamp(path: Path) -> None:
+        try:
+            ArtifactStore._stamp_path(path).unlink()
+        except OSError:
+            pass
+
+    def _last_used(self, path: Path, stat: os.stat_result) -> float:
+        try:
+            return self._stamp_path(path).stat().st_mtime
+        except OSError:
+            # No stamp: fall back to the write time, which is correct for
+            # artifacts never read since this metadata landed.
+            return max(stat.st_atime, stat.st_mtime)
+
+    def touch(self, kind: str, key: str, when: float | None = None) -> None:
+        """Mark one artifact as used now (or at ``when``), for LRU eviction."""
+        self._write_stamp(self.path_for(kind, key), when)
 
     # -- enumeration / maintenance --------------------------------------------
 
@@ -329,12 +515,55 @@ class ArtifactStore:
         """Delete stored artifacts (all kinds, or one), returning the count removed."""
         removed = 0
         for path in list(self._artifact_paths(kind)):
+            self._remove_stamp(path)
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
         return removed
+
+    def migrate_legacy(self) -> MigrationResult:
+        """Rewrite version-1 (pickled) artifacts into the typed JSON format.
+
+        Unpickling is inherent to migration, so this method reads v1 files
+        regardless of the ``legacy_pickle`` setting — run it only on stores
+        this codebase wrote.  Artifacts that fail to unpickle or that hold
+        types without a registered wire schema are counted as ``failed`` and
+        left untouched.  After a clean migration the legacy opt-in can be
+        dropped and a warm server restart is served entirely from the store.
+        """
+        result = MigrationResult()
+        for path in list(self._artifact_paths()):
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            if blob.startswith(_MAGIC):
+                result.already_current += 1
+                continue
+            header_len = len(_MAGIC_V1) + _DIGEST_BYTES
+            if (
+                len(blob) < header_len
+                or not blob.startswith(_MAGIC_V1)
+                or hashlib.sha256(blob[header_len:]).digest() != blob[len(_MAGIC_V1) : header_len]
+            ):
+                result.failed += 1
+                continue
+            kind = path.parent.parent.name
+            key = path.name[: -len(_SUFFIX)]
+            # Preserve the artifact's last-use ordering across the rewrite
+            # (put() would otherwise stamp it as freshly used).
+            last_used = self._last_used(path, path.stat())
+            try:
+                obj = pickle.loads(blob[header_len:])
+                self.put(kind, key, obj)
+            except Exception:  # noqa: BLE001 - unpicklable or schema-less artifact
+                result.failed += 1
+                continue
+            self._write_stamp(path, last_used)
+            result.migrated += 1
+        return result
 
     def evict(
         self,
@@ -364,7 +593,7 @@ class ArtifactStore:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((max(stat.st_atime, stat.st_mtime), stat.st_size, path))
+            entries.append((self._last_used(path, stat), stat.st_size, path))
 
         result = EvictionResult()
         now = time.time()
@@ -375,6 +604,7 @@ class ArtifactStore:
                 path.unlink()
             except OSError:
                 return False  # already evicted by a concurrent pass
+            self._remove_stamp(path)
             result.removed += 1
             result.reclaimed_bytes += size
             return True
@@ -434,24 +664,31 @@ def artifact_store_at(
     root: str | os.PathLike[str],
     max_bytes: int | None = None,
     ttl_seconds: float | None = None,
+    legacy_pickle: bool | None = None,
 ) -> ArtifactStore:
     """The process-wide :class:`ArtifactStore` for a directory (created once).
 
-    Explicit eviction caps apply when the store is first created for the
-    directory and reconfigure the shared instance on later calls.
+    Explicit eviction caps (and the legacy-pickle read opt-in) apply when the
+    store is first created for the directory and reconfigure the shared
+    instance on later calls.
     """
     resolved = str(Path(root).expanduser().resolve())
     with _STORES_LOCK:
         store = _STORES_BY_ROOT.get(resolved)
         if store is None:
             store = _STORES_BY_ROOT[resolved] = ArtifactStore(
-                resolved, max_bytes=max_bytes, ttl_seconds=ttl_seconds
+                resolved,
+                max_bytes=max_bytes,
+                ttl_seconds=ttl_seconds,
+                legacy_pickle=legacy_pickle,
             )
         else:
             if max_bytes is not None:
                 store.max_bytes = max_bytes
             if ttl_seconds is not None:
                 store.ttl_seconds = ttl_seconds
+            if legacy_pickle is not None:
+                store.legacy_pickle = legacy_pickle
         return store
 
 

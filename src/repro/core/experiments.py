@@ -52,10 +52,27 @@ def ensure_picklable(obj: Any, error_message: str) -> None:
 def _require_picklable_case_fn(fn: Callable[..., Any]) -> None:
     ensure_picklable(
         fn,
-        f"the 'process' and 'remote' executors require a picklable case function, "
+        f"the 'process' executor requires a picklable case function, "
         f"but {fn!r} cannot be pickled. Use a module-level function taking "
         "plain-data arguments, or executor='thread' for closures over live objects.",
     )
+
+
+def _require_wire_case_fn(fn: Callable[..., Any] | str) -> None:
+    """Remote sweeps name server-side functions; nothing callable crosses the wire."""
+    if isinstance(fn, str):
+        return
+    from ..serve.specs import wire_function_name
+
+    if wire_function_name(fn) is None:
+        raise ValueError(
+            f"executor='remote' submits *named* server-side functions over the "
+            f"typed JSON wire, but {fn!r} is not a registered wire function. "
+            "Register it with repro.serve.specs.register_wire_function (the "
+            "server must import the registering module too), pass its "
+            "registered name as a string, or use executor='service' to run "
+            "the sweep in-process."
+        )
 
 
 @dataclass(frozen=True)
@@ -143,8 +160,11 @@ def run_sweep(
     ----------
     fn:
         Evaluation function taking the grid's parameters as keyword
-        arguments.  With ``executor="process"`` or ``"remote"`` it must be
-        picklable (a module-level function); this is verified up front.
+        arguments.  With ``executor="process"`` it must be picklable (a
+        module-level function); with ``executor="remote"`` it must be a
+        registered wire-function (or its name as a string), since remote
+        jobs cross the wire as typed JSON specs, never as code.  Both are
+        verified up front.
     spec:
         A :class:`SweepSpec`, or a bare ``{param: values}`` mapping which is
         wrapped into an anonymous spec.
@@ -178,8 +198,10 @@ def run_sweep(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
-    if executor in ("process", "remote"):
+    if executor == "process":
         _require_picklable_case_fn(fn)
+    if executor == "remote":
+        _require_wire_case_fn(fn)
     if executor == "remote" and service is None and endpoint is None:
         raise ValueError("executor='remote' needs endpoint='http://host:port' (or service=client)")
 

@@ -17,12 +17,19 @@ traffic*, not as one script.  This package provides the service layer:
     thread, a thread pool for simulation-bound work (NumPy releases the GIL)
     and a ``ProcessPoolExecutor`` for sampling-bound work (FID generation,
     which is GIL-limited).
+``repro.serve.specs``
+    The typed wire job specs — ``simulate_spec`` / ``quality_spec`` /
+    ``sweep_spec`` / ``callable_spec`` — resolved server-side, plus the
+    wire-function registry.  Sweeps are *planned on the server*: clients
+    submit one grid, the scheduler expands and coalesces it.
 ``repro.serve.workers``
-    Module-level, picklable job functions for the process pool.
+    Module-level job functions for the process pool, registered as wire
+    functions so clients can invoke them by name.
 ``repro.serve.http``
     :class:`EvaluationHTTPServer` — the stdlib REST front end: remote
-    clients POST jobs, poll results, and share the server's single-flight
-    scheduler and artifact store.
+    clients POST typed job specs as plain, versioned JSON (no pickles on
+    the wire), poll results, and share the server's single-flight scheduler
+    and artifact store.
 ``repro.serve.client``
     :class:`RemoteEvaluationClient` — urllib-based client mirroring the
     service surface, with retry/backoff and polling job handles.
@@ -31,24 +38,39 @@ traffic*, not as one script.  This package provides the service layer:
     ``repro cache``, ``repro serve``.
 """
 
+from . import workers as _workers  # noqa: F401 - registers the wire functions
 from .client import RemoteEvaluationClient, RemoteJob, RemoteServiceError
 from .http import EvaluationHTTPServer, start_http_server
 from .jobs import Job, JobFailedError, JobKind, JobStatus
 from .scheduler import SimulationRequest, coalesce_requests, run_batched
 from .service import EvaluationService
+from .specs import (
+    CallableJobSpec,
+    QualityJobSpec,
+    SimulateJobSpec,
+    SweepJobResult,
+    SweepJobSpec,
+    register_wire_function,
+)
 
 __all__ = [
+    "CallableJobSpec",
     "EvaluationHTTPServer",
     "EvaluationService",
     "Job",
     "JobFailedError",
     "JobKind",
     "JobStatus",
+    "QualityJobSpec",
     "RemoteEvaluationClient",
     "RemoteJob",
     "RemoteServiceError",
+    "SimulateJobSpec",
     "SimulationRequest",
+    "SweepJobResult",
+    "SweepJobSpec",
     "coalesce_requests",
+    "register_wire_function",
     "run_batched",
     "start_http_server",
 ]

@@ -7,19 +7,21 @@ reports instead of recomputing them:
 
 ``repro sweep``
     Sweep accelerator-configuration knobs over a workload's quantized trace.
-    Grid points are submitted to an :class:`EvaluationService` as simulation
-    jobs, which the scheduler coalesces into cross-trace batched passes.
-    With ``--endpoint`` the same jobs go to a remote ``repro serve`` process
-    instead, where submissions from any number of clients coalesce through
-    one single-flight scheduler and share one artifact store.
+    The whole grid is submitted as *one* typed ``sweep_spec`` job; the
+    service plans it server-side, coalesces the cases into cross-trace
+    batched passes, and answers with per-case reports plus the dense
+    baseline.  With ``--endpoint`` the same spec goes to a remote
+    ``repro serve`` process as plain JSON, where grids from any number of
+    clients coalesce through one single-flight scheduler and share one
+    artifact store.
 ``repro evaluate``
     The Fig. 12 hardware comparison for one workload, optionally with
-    quality (FID) evaluations fanned out to the process pool.
+    declarative quality (FID) specs fanned out to the process pool.
 ``repro serve``
     Run the evaluation service behind its HTTP front end
     (:mod:`repro.serve.http`) until interrupted.
 ``repro cache``
-    Inspect, wipe, or evict from the artifact store.
+    Inspect, wipe, evict from, or migrate the artifact store.
 
 Every command accepts ``--artifact-dir`` (default: the ``REPRO_ARTIFACT_DIR``
 environment variable) and ``--json`` to write machine-readable results for CI.
@@ -42,14 +44,13 @@ from ..core.artifacts import (
     ArtifactStore,
     artifact_store_at,
 )
-from ..core.experiments import SweepSpec
 from ..core.pipeline import PipelineConfig, SQDMPipeline
 from ..core.policy import mixed_precision_policy
 from ..core.report_cache import ReportCache
 from ..core.sparsity import trace_to_workloads
 from ..workloads.models import workload_names
 from .service import EvaluationService
-from .workers import evaluate_quality
+from .specs import QualityJobSpec, SweepJobSpec
 
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(AcceleratorConfig)} - {"name", "pe"}
 
@@ -192,15 +193,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     pipeline = _build_pipeline(args, store, cache)
 
     grid = dict(args.params or [("sparsity_threshold", [0.1, 0.3, 0.5])])
-    spec = SweepSpec(name=f"sweep-{args.workload}", grid=grid)
 
     policy = mixed_precision_policy(pipeline.relu_unet(), relu=True)
     trace = pipeline.collect_trace(relu=True)
     quant_trace = trace_to_workloads(trace, policy)
 
-    # The remote client mirrors the service's submission surface, so one code
-    # path covers both: jobs either run in this process or on the server
-    # named by --endpoint (where many clients coalesce and share one store).
+    # The whole grid is one declarative sweep spec: the service (or the
+    # remote server) plans it, coalesces the cases with any other traffic,
+    # and returns per-case reports plus the dense baseline.  The remote
+    # client mirrors the service's submission surface, so one code path
+    # covers both; over HTTP the spec travels as plain, versioned JSON.
+    spec = SweepJobSpec(
+        base=sqdm_config(),
+        grid={name: list(values) for name, values in grid.items()},
+        trace=quant_trace,
+        baseline=dense_baseline_config(),
+        backend=args.backend,
+        name=f"sweep-{args.workload}",
+    )
+
     remote_stats_before: dict[str, Any] | None = None
     if args.endpoint:
         from .client import RemoteEvaluationClient
@@ -211,20 +222,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor = EvaluationService(cache=cache, max_workers=args.max_workers)
 
     with executor as service:
-        baseline_job = service.submit_simulation(
-            dense_baseline_config(), quant_trace, backend=args.backend, label="dense-baseline"
-        )
-        case_jobs = [
-            service.submit_simulation(
-                sqdm_config(**params),
-                quant_trace,
-                backend=args.backend,
-                label=f"{spec.name}[{i}]",
-            )
-            for i, params in enumerate(spec.cases())
-        ]
-        baseline = baseline_job.result()
-        reports = [job.result() for job in case_jobs]
+        outcome = service.submit_sweep(spec).result()
+        baseline = outcome.baseline
+        reports = outcome.reports
         if remote_stats_before is not None:
             cache_summary = _remote_cache_summary(remote_stats_before, service.cache_stats())
         else:
@@ -232,7 +232,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     rows = []
     results = []
-    for params, report in zip(spec.cases(), reports):
+    for params, report in zip(outcome.params, reports):
         speedup = (
             baseline.total_cycles / report.total_cycles if report.total_cycles else float("inf")
         )
@@ -296,22 +296,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     quality_results: list[dict[str, Any]] = []
     with EvaluationService(cache=cache, process_workers=args.process_workers) as service:
         quality_jobs = [
-            service.submit_sampling(
-                evaluate_quality,
-                kwargs={
-                    "workload": args.workload,
-                    "scheme": scheme,
-                    "resolution": args.resolution,
-                    "pipeline_overrides": {
+            service.submit_quality(
+                QualityJobSpec(
+                    workload=args.workload,
+                    scheme=scheme,
+                    resolution=args.resolution,
+                    pipeline_overrides={
                         "num_fid_samples": args.fid_samples,
                         "num_reference_samples": args.reference_samples,
                         "num_sampling_steps": args.sampling_steps,
                         "num_trace_samples": args.trace_samples,
                         "seed": args.seed,
                     },
-                    "artifact_dir": args.artifact_dir,
-                },
-                label=f"quality:{scheme}",
+                    artifact_dir=args.artifact_dir,
+                )
             )
             for scheme in args.quality or []
         ]
@@ -386,7 +384,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         process_workers=args.process_workers,
     )
-    server = EvaluationHTTPServer((args.host, args.port), service, store=store)
+    server = EvaluationHTTPServer(
+        (args.host, args.port),
+        service,
+        store=store,
+        max_request_bytes=args.max_request_bytes,
+    )
     print(f"repro serve: listening on {server.endpoint}", flush=True)
     if store is not None:
         policy = f"max_bytes={store.max_bytes} ttl_seconds={store.ttl_seconds}"
@@ -418,6 +421,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 2
     store = artifact_store_at(args.artifact_dir)
+    if args.action == "migrate":
+        result = store.migrate_legacy()
+        print(
+            f"migrated {result.migrated} legacy artifact(s) at {store.root}; "
+            f"{result.already_current} already current, {result.failed} failed"
+        )
+        _write_json(
+            args.json_path,
+            {"command": "cache", "action": "migrate", **result.summary()},
+        )
+        return 0 if result.failed == 0 else 1
     if args.action == "wipe":
         removed = store.wipe(args.kind)
         print(f"removed {removed} artifact(s) from {store.root}")
@@ -465,6 +479,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .http import DEFAULT_MAX_REQUEST_BYTES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SQ-DM fleet evaluation service: sweeps, evaluations and the artifact cache.",
@@ -537,10 +553,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help=f"evict artifacts unused for this long (default: ${TTL_ENV_VAR})",
     )
+    serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=DEFAULT_MAX_REQUEST_BYTES,
+        help="reject request bodies larger than this with HTTP 413 "
+        "(default: %(default)s)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
-    cache = sub.add_parser("cache", help="inspect, wipe or evict from the artifact store")
-    cache.add_argument("action", choices=["stats", "wipe", "evict"])
+    cache = sub.add_parser(
+        "cache", help="inspect, wipe, evict from, or migrate the artifact store"
+    )
+    cache.add_argument("action", choices=["stats", "wipe", "evict", "migrate"])
     cache.add_argument("--kind", default=None, help="restrict wipe to one artifact kind")
     cache.add_argument(
         "--max-bytes",

@@ -2,26 +2,31 @@
 
 :class:`RemoteEvaluationClient` mirrors the submission surface of
 :class:`~repro.serve.service.EvaluationService` — ``submit_simulation`` /
-``submit_callable`` / ``submit_sampling`` / ``job`` / ``jobs`` / ``cancel`` /
-``wait_all`` — over plain :mod:`urllib`, so call sites switch between the
-in-process service and a remote server by swapping one object:
+``submit_sweep`` / ``submit_quality`` / ``submit_callable`` /
+``submit_sampling`` / ``job`` / ``jobs`` / ``cancel`` / ``wait_all`` — over
+plain :mod:`urllib`, so call sites switch between the in-process service and
+a remote server by swapping one object:
 
     with RemoteEvaluationClient("http://fleet-server:8035") as client:
         job = client.submit_simulation(sqdm_config(), trace)
         report = job.result(timeout=300)
 
-Transient transport failures (connection refused while the server starts,
-dropped keep-alive sockets) are retried with exponential backoff; HTTP-level
-errors are not retried and surface as :class:`RemoteServiceError` (or
-:class:`KeyError` for unknown job ids, matching the in-process service).
+Everything crosses the wire as versioned, schema-tagged JSON
+(:mod:`repro.core.codec` envelopes) — never pickles.  Callable jobs name
+functions from the server's wire-function registry
+(:func:`repro.serve.specs.register_wire_function`); sweeps are submitted as
+one grid spec and planned server-side.  The client advertises its wire
+version on every request and surfaces the server's 4xx rejections (unknown
+schema, oversized body, bad spec) as :class:`RemoteServiceError` without
+retrying; unknown job ids become :class:`KeyError`, matching the in-process
+service.
 
-A :class:`RemoteJob` polls the server for its status with capped exponential
-backoff and fetches the pickled result exactly once.  Failures carry the
+Transient transport failures (connection refused while the server starts,
+dropped keep-alive sockets) are retried with exponential backoff.  A
+:class:`RemoteJob` polls the server for its status with capped exponential
+backoff and decodes the result envelope exactly once.  Failures carry the
 server-side error *message*; the original exception type does not cross the
-wire.  :func:`repro.core.experiments.run_sweep` accepts
-``executor="remote", endpoint=...`` and fans its cases out through this
-client, which requires the case function to be picklable (module-level), the
-same contract as ``executor="process"``.
+wire.
 """
 
 from __future__ import annotations
@@ -35,8 +40,15 @@ from typing import Any, Callable, Iterable, Mapping
 from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import WorkloadTrace
-from .http import decode_payload, encode_payload
+from ..core import codec
 from .jobs import JobFailedError, JobStatus
+from .specs import (
+    CallableJobSpec,
+    QualityJobSpec,
+    SimulateJobSpec,
+    SweepJobSpec,
+    require_wire_name,
+)
 
 _TERMINAL = (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
 
@@ -82,7 +94,7 @@ class RemoteJob:
         if self.status is JobStatus.DONE:
             if "result" not in self._summary:
                 self._summary = self._client._request("GET", f"/jobs/{self.id}?result=1")
-            self.result_value = decode_payload(self._summary["result"])
+            self.result_value = codec.decode(self._summary["result"])
         else:
             self.error = JobFailedError(
                 f"job {self.id} ({self.label or self.kind}) {self.status.value}: "
@@ -183,7 +195,11 @@ class RemoteEvaluationClient:
                 url,
                 data=body,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers={
+                    "Content-Type": "application/json",
+                    "Accept": "application/json",
+                    "X-Repro-Wire-Version": str(codec.WIRE_VERSION),
+                },
             )
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -224,11 +240,10 @@ class RemoteEvaluationClient:
 
     # -- submission -------------------------------------------------------------
 
-    def _submit(self, kind: str, payload: Any, label: str) -> RemoteJob:
+    def submit_spec(self, spec: Any, label: str = "") -> RemoteJob:
+        """Submit one typed job spec as a schema-tagged JSON envelope."""
         summary = self._request(
-            "POST",
-            "/jobs",
-            {"kind": kind, "label": label, "payload": encode_payload(payload)},
+            "POST", "/jobs", {"spec": codec.encode(spec), "label": label}
         )
         return RemoteJob(self, summary)
 
@@ -242,61 +257,63 @@ class RemoteEvaluationClient:
     ) -> RemoteJob:
         """Queue one trace simulation on the server; identical requests from
         any client coalesce through the server's single-flight scheduler."""
-        payload = {
-            "config": config,
-            "trace": trace,
-            "energy_table": energy_table,
-            "backend": backend,
-        }
-        return self._submit("simulation", payload, label or f"simulate:{config.name}")
-
-    def _submit_function_job(
-        self,
-        kind: str,
-        fn: Callable[..., Any],
-        args: Iterable[Any],
-        kwargs: Mapping[str, Any] | None,
-        label: str,
-    ) -> RemoteJob:
-        payload = (fn, tuple(args), dict(kwargs or {}))
-        # encode_payload pickles, so it doubles as the picklability check:
-        # one serialization pass instead of a verify-then-encode pair.
-        try:
-            encoded = encode_payload(payload)
-        except Exception as exc:  # noqa: BLE001 - any pickling failure
-            raise ValueError(
-                "remote jobs cross the wire as pickles, so the function and its "
-                "arguments must be picklable: pass a module-level function and "
-                "plain-data arguments, not lambdas, bound methods or live model "
-                f"objects ({exc})"
-            ) from exc
-        label = label or f"{kind}:{getattr(fn, '__name__', fn)}"
-        summary = self._request(
-            "POST", "/jobs", {"kind": kind, "label": label, "payload": encoded}
+        spec = SimulateJobSpec(
+            config=config, trace=trace, energy_table=energy_table, backend=backend
         )
-        return RemoteJob(self, summary)
+        return self.submit_spec(spec, label or spec.default_label())
+
+    def submit_sweep(self, spec: SweepJobSpec, label: str = "") -> RemoteJob:
+        """Submit one grid; the server plans, coalesces and batches the cases.
+
+        The job's result is a :class:`~repro.serve.specs.SweepJobResult`
+        (per-case reports in grid order, plus the baseline report if the
+        spec names one).
+        """
+        return self.submit_spec(spec, label or spec.default_label())
+
+    def submit_quality(self, spec: QualityJobSpec, label: str = "") -> RemoteJob:
+        """Queue one declarative FID evaluation on the server's process pool."""
+        return self.submit_spec(spec, label or spec.default_label())
 
     def submit_callable(
         self,
-        fn: Callable[..., Any],
+        fn: Callable[..., Any] | str,
         args: Iterable[Any] = (),
         kwargs: Mapping[str, Any] | None = None,
         label: str = "",
     ) -> RemoteJob:
-        """Queue a callable on the server's thread pool (module-level functions only)."""
-        return self._submit_function_job("callable", fn, args, kwargs, label)
+        """Queue a *named* server-side function on the server's thread pool.
+
+        ``fn`` is a wire-function name (or a callable registered with
+        :func:`repro.serve.specs.register_wire_function`, resolved to its
+        name client-side); arguments must be plain wire-encodable data.  No
+        code crosses the wire — an unregistered function is rejected.
+        """
+        spec = CallableJobSpec(
+            function=require_wire_name(fn),
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            pool="thread",
+        )
+        return self.submit_spec(spec, label or spec.default_label())
 
     def submit_sampling(
         self,
-        fn: Callable[..., Any],
+        fn: Callable[..., Any] | str,
         args: Iterable[Any] = (),
         kwargs: Mapping[str, Any] | None = None,
         label: str = "",
     ) -> RemoteJob:
-        """Queue a sampling-bound job for the server's process pool."""
-        return self._submit_function_job("sampling", fn, args, kwargs, label)
+        """Queue a named sampling-bound function for the server's process pool."""
+        spec = CallableJobSpec(
+            function=require_wire_name(fn),
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            pool="process",
+        )
+        return self.submit_spec(spec, label or spec.default_label())
 
-    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> RemoteJob:
+    def submit(self, fn: Callable[..., Any] | str, *args: Any, **kwargs: Any) -> RemoteJob:
         """Convenience form of :meth:`submit_callable`."""
         return self.submit_callable(fn, args=args, kwargs=kwargs)
 
@@ -305,9 +322,26 @@ class RemoteEvaluationClient:
     def job(self, job_id: str) -> RemoteJob:
         return RemoteJob(self, self._request("GET", f"/jobs/{job_id}"))
 
-    def jobs(self) -> list[RemoteJob]:
-        listing = self._request("GET", "/jobs")
+    def list_jobs(
+        self, status: JobStatus | str | None = None, limit: int | None = None
+    ) -> list[RemoteJob]:
+        """Jobs known to the server, optionally filtered by status and capped.
+
+        Mirrors ``GET /jobs?status=&limit=`` (and
+        :meth:`EvaluationService.jobs`): ``limit`` keeps the most recently
+        submitted matches.
+        """
+        query = []
+        if status is not None:
+            query.append(f"status={JobStatus(status).value}")
+        if limit is not None:
+            query.append(f"limit={int(limit)}")
+        path = "/jobs" + ("?" + "&".join(query) if query else "")
+        listing = self._request("GET", path)
         return [RemoteJob(self, summary) for summary in listing["jobs"]]
+
+    def jobs(self) -> list[RemoteJob]:
+        return self.list_jobs()
 
     def status(self, job_id: str) -> JobStatus:
         return self.job(job_id).status
@@ -334,6 +368,10 @@ class RemoteEvaluationClient:
 
     def health(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
+
+    def schemas(self) -> dict[str, Any]:
+        """The server's wire version and registered schema versions."""
+        return self._request("GET", "/schemas")
 
     def cache_stats(self) -> dict[str, Any]:
         return self._request("GET", "/cache/stats")

@@ -12,25 +12,43 @@ Endpoints (all JSON):
 ========  ==================  ==================================================
 Method    Path                Meaning
 ========  ==================  ==================================================
-POST      ``/jobs``           Submit a job; returns its summary (id, status).
-GET       ``/jobs``           List known jobs.
+POST      ``/jobs``           Submit a typed job spec; returns its summary.
+GET       ``/jobs``           List known jobs (``?status=``, ``?limit=``).
 GET       ``/jobs/<id>``      One job's status; ``?result=1`` attaches the
-                              pickled result once the job is done.
+                              schema-encoded result once the job is done.
 DELETE    ``/jobs/<id>``      Cancel a job that has not started.
+GET       ``/schemas``        Wire version + registered schema versions.
 GET       ``/cache/stats``    Report-cache, artifact-store and service stats.
 POST      ``/cache/evict``    Run the artifact store's eviction policy.
 GET       ``/healthz``        Liveness probe with traffic counters.
 ========  ==================  ==================================================
 
-Rich payloads (accelerator configs, workload traces, simulation reports,
-callables) cross the wire as base64-encoded pickles inside the JSON
-envelope — the same representation the process pool already uses.  Pickle
-deserialization executes arbitrary code by design, so the server trusts its
-clients: bind to loopback or a private fleet network, never the open
-internet.  Simulation jobs submitted by any number of clients coalesce
-through the service's single-flight scheduler and share one artifact store.
+**Everything on the wire is plain, versioned JSON** — no pickles, in either
+direction.  A job submission is a typed spec envelope
+(:mod:`repro.serve.specs`)::
 
-Because every simulation job is served through the shared
+    {"spec": {"$schema": "sweep_spec@1",
+              "base": {"$schema": "accelerator_config@1", ...},
+              "grid": {"sparsity_threshold": [0.2, 0.4]},
+              "trace": {"$schema": "workload_trace@1", "steps": [[...]]}},
+     "label": "nightly-sweep"}
+
+and results come back as self-describing envelopes
+(``{"$schema": "simulation_report@1", ...}``), so any HTTP client — curl
+included — can submit work and read results without running this codebase.
+Unknown schema names or versions are rejected with 400 before any work is
+queued; clients can probe compatibility via ``GET /schemas``.
+
+Negotiation and limits: requests with a body must be
+``application/json`` (else 415); an ``Accept`` header that excludes JSON is
+refused with 406, as is an ``X-Repro-Wire-Version`` header naming an
+unsupported protocol version; bodies beyond the server's
+``max_request_bytes`` are refused with 413 *before* being read, so an
+oversized submission cannot exhaust server memory.
+
+Simulation and sweep jobs submitted by any number of clients coalesce
+through the service's single-flight scheduler and share one artifact store.
+Because every simulation is served through the shared
 :class:`~repro.core.report_cache.ReportCache`, a server restarted over the
 same artifact directory serves warm traffic entirely from disk — zero
 re-simulation — which is exactly what the CI smoke stage asserts.
@@ -38,27 +56,23 @@ re-simulation — which is exactly what the CI smoke stage asserts.
 
 from __future__ import annotations
 
-import base64
+import dataclasses
 import json
-import pickle
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from ..core import codec
 from ..core.artifacts import ArtifactStore
-from .jobs import Job, JobKind
+from .jobs import JobStatus
 from .service import EvaluationService
+from .specs import JOB_SPEC_TYPES, QualityJobSpec
 
-
-def encode_payload(obj: Any) -> str:
-    """Pickle an object into a JSON-safe base64 string."""
-    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
-
-
-def decode_payload(text: str) -> Any:
-    """Inverse of :func:`encode_payload` (trusted input only; see module docs)."""
-    return pickle.loads(base64.b64decode(text.encode("ascii")))
+#: Upper bound on accepted request bodies (satellite guard against a single
+#: oversized POST exhausting server memory).  Generous enough for real
+#: traces; override per server via ``max_request_bytes``.
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
 
 
 class _HTTPError(Exception):
@@ -79,10 +93,14 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: EvaluationService,
         store: ArtifactStore | None = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     ):
+        if max_request_bytes <= 0:
+            raise ValueError("max_request_bytes must be positive")
         super().__init__(address, _EvaluationRequestHandler)
         self.service = service
         self.store = store if store is not None else service.cache.store
+        self.max_request_bytes = max_request_bytes
         self._thread: threading.Thread | None = None
 
     @property
@@ -119,9 +137,12 @@ def start_http_server(
     host: str = "127.0.0.1",
     port: int = 0,
     store: ArtifactStore | None = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
 ) -> EvaluationHTTPServer:
     """Start an :class:`EvaluationHTTPServer` on a background thread."""
-    return EvaluationHTTPServer((host, port), service, store=store).start_background()
+    return EvaluationHTTPServer(
+        (host, port), service, store=store, max_request_bytes=max_request_bytes
+    ).start_background()
 
 
 class _EvaluationRequestHandler(BaseHTTPRequestHandler):
@@ -137,14 +158,56 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("X-Repro-Wire-Version", str(codec.WIRE_VERSION))
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
+    def _negotiate(self) -> None:
+        """Refuse clients this server cannot talk to, before any work happens.
+
+        * ``Accept`` must allow ``application/json`` (absent counts as
+          ``*/*``) — a client demanding e.g. a pickle media type gets 406.
+        * ``X-Repro-Wire-Version``, when sent, must match this server's
+          :data:`~repro.core.codec.WIRE_VERSION` — envelope markers are not
+          stable across wire versions, so a mismatch is an error, not a
+          guess.
+        """
+        accept = self.headers.get("Accept")
+        if accept is not None:
+            media_types = {
+                part.split(";", 1)[0].strip().lower() for part in accept.split(",")
+            }
+            if media_types and not media_types & {"application/json", "application/*", "*/*"}:
+                raise _HTTPError(
+                    406, f"this server only produces application/json, not {accept!r}"
+                )
+        wire_version = self.headers.get("X-Repro-Wire-Version")
+        if wire_version is not None and wire_version.strip() != str(codec.WIRE_VERSION):
+            raise _HTTPError(
+                406,
+                f"unsupported wire version {wire_version.strip()!r}; "
+                f"this server speaks version {codec.WIRE_VERSION}",
+            )
+
     def _read_json(self) -> dict[str, Any]:
+        content_type = (self.headers.get("Content-Type") or "").split(";", 1)[0].strip().lower()
         length = int(self.headers.get("Content-Length") or 0)
+        if length > self.server.max_request_bytes:
+            # Refused before reading a byte: Content-Length is the guard.
+            raise _HTTPError(
+                413,
+                f"request body of {length} bytes exceeds this server's limit of "
+                f"{self.server.max_request_bytes} bytes",
+            )
         if length <= 0:
             return {}
+        if content_type and content_type != "application/json":
+            raise _HTTPError(
+                415, f"request bodies must be application/json, not {content_type!r}"
+            )
         try:
             parsed = json.loads(self.rfile.read(length).decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
@@ -155,9 +218,16 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, handler: Any, *args: Any) -> None:
         try:
+            self._negotiate()
             status, payload = handler(*args)
             self._send_json(status, payload)
         except _HTTPError as exc:
+            if exc.status in (406, 413, 415):
+                # These refusals happen before the request body is read, so
+                # the only way to keep a keep-alive byte stream coherent is
+                # to close the connection after responding — otherwise the
+                # unread body would be parsed as the next request line.
+                self.close_connection = True
             self._send_json(exc.status, {"error": str(exc)})
         except KeyError as exc:
             self._send_json(404, {"error": str(exc.args[0]) if exc.args else "not found"})
@@ -171,8 +241,10 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
         parts = [p for p in parsed.path.split("/") if p]
         if parts == ["healthz"]:
             self._dispatch(self._get_healthz)
+        elif parts == ["schemas"]:
+            self._dispatch(self._get_schemas)
         elif parts == ["jobs"]:
-            self._dispatch(self._get_jobs)
+            self._dispatch(self._get_jobs, parse_qs(parsed.query))
         elif len(parts) == 2 and parts[0] == "jobs":
             query = parse_qs(parsed.query)
             with_result = query.get("result", ["0"])[-1] not in ("0", "", "false")
@@ -203,55 +275,78 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
     def _get_healthz(self) -> tuple[int, dict[str, Any]]:
         return 200, {
             "status": "ok",
+            "wire_version": codec.WIRE_VERSION,
             "service": self.server.service.service_stats(),
             "store": str(self.server.store.root) if self.server.store is not None else None,
         }
 
-    def _get_jobs(self) -> tuple[int, dict[str, Any]]:
-        return 200, {"jobs": [job.summary() for job in self.server.service.jobs()]}
+    def _get_schemas(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "wire_version": codec.WIRE_VERSION,
+            "schemas": codec.registered_schemas(),
+        }
+
+    def _get_jobs(self, query: dict[str, list[str]]) -> tuple[int, dict[str, Any]]:
+        status = query.get("status", [None])[-1]
+        if status is not None:
+            try:
+                status = JobStatus(status)
+            except ValueError:
+                known = [s.value for s in JobStatus]
+                raise _HTTPError(400, f"unknown status {status!r}; one of {known}") from None
+        limit = query.get("limit", [None])[-1]
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise _HTTPError(400, f"limit must be an integer, got {limit!r}") from None
+            if limit < 0:
+                raise _HTTPError(400, "limit must be >= 0")
+        jobs = self.server.service.jobs(status=status, limit=limit)
+        return 200, {"jobs": [job.summary() for job in jobs]}
 
     def _get_job(self, job_id: str, with_result: bool) -> tuple[int, dict[str, Any]]:
         job = self.server.service.job(job_id)
         payload = job.summary()
         if with_result and job.ok:
-            payload["result"] = encode_payload(job.result_value)
+            payload["result"] = codec.encode(job.result_value)
         return 200, payload
 
     def _post_job(self) -> tuple[int, dict[str, Any]]:
         body = self._read_json()
-        kind = body.get("kind")
+        if "spec" not in body:
+            raise _HTTPError(
+                400,
+                "job submission needs a 'spec' field holding a typed job-spec "
+                "envelope (simulate_spec, sweep_spec, quality_spec or callable_spec)",
+            )
         label = str(body.get("label") or "")
         try:
-            payload = decode_payload(body["payload"])
-        except KeyError:
-            raise _HTTPError(400, "job submission needs a 'payload' field") from None
-        except Exception as exc:  # noqa: BLE001 - undecodable pickle is a client error
-            raise _HTTPError(400, f"cannot decode job payload: {exc}") from None
-        job = self._submit(kind, payload, label)
-        return 201, job.summary()
-
-    def _submit(self, kind: Any, payload: Any, label: str) -> Job:
-        service = self.server.service
+            spec = codec.decode(body["spec"])
+        except codec.SchemaError as exc:
+            # Covers unknown schema names/versions and malformed payloads.
+            raise _HTTPError(400, str(exc)) from None
+        if not isinstance(spec, JOB_SPEC_TYPES):
+            names = sorted(cls.__name__ for cls in JOB_SPEC_TYPES)
+            raise _HTTPError(
+                400,
+                f"{type(spec).__name__} is not a job spec; submit one of {names}",
+            )
+        if isinstance(spec, QualityJobSpec):
+            # Remote clients do not get to name server-side filesystem paths:
+            # quality jobs always run against THIS server's artifact store
+            # (which is also what makes their FID statistics shareable).
+            store = self.server.store
+            spec = dataclasses.replace(
+                spec, artifact_dir=str(store.root) if store is not None else None
+            )
         try:
-            if kind == JobKind.SIMULATION.value:
-                return service.submit_simulation(
-                    config=payload["config"],
-                    trace=payload["trace"],
-                    energy_table=payload.get("energy_table"),
-                    backend=payload.get("backend"),
-                    label=label,
-                )
-            if kind == JobKind.SAMPLING.value:
-                fn, args, kwargs = payload
-                return service.submit_sampling(fn, args=args, kwargs=kwargs, label=label)
-            if kind == JobKind.CALLABLE.value:
-                fn, args, kwargs = payload
-                return service.submit_callable(fn, args=args, kwargs=kwargs, label=label)
+            job = self.server.service.submit_spec(spec, label=label)
         except (TypeError, ValueError, KeyError) as exc:
-            # KeyError included: a payload missing e.g. 'config' is the
-            # client's malformed request (400), not a missing resource (404).
-            raise _HTTPError(400, f"bad {kind} job payload: {exc!r}") from None
-        raise _HTTPError(400, f"unknown job kind {kind!r}")
+            # e.g. an unregistered wire function or a config the spec's own
+            # validation only catches at planning time: the client's error.
+            raise _HTTPError(400, f"cannot submit {type(spec).__name__}: {exc}") from None
+        return 201, job.summary()
 
     def _delete_job(self, job_id: str) -> tuple[int, dict[str, Any]]:
         cancelled = self.server.service.cancel(job_id)

@@ -38,12 +38,15 @@ class JobKind(str, Enum):
     """Worker-routing class of a job.
 
     ``SIMULATION`` jobs are coalesced by accelerator config and dispatched to
-    the thread pool (batched NumPy releases the GIL); ``SAMPLING`` jobs (FID
-    generation and other Python-bound sampling work) go to the process pool;
-    ``CALLABLE`` jobs run any function on the thread pool.
+    the thread pool (batched NumPy releases the GIL); ``SWEEP`` jobs are
+    server-planned grids whose expanded cases join the same coalescing
+    machinery; ``SAMPLING`` jobs (FID generation and other Python-bound
+    sampling work) go to the process pool; ``CALLABLE`` jobs run a resolved
+    function on the thread pool.
     """
 
     SIMULATION = "simulation"
+    SWEEP = "sweep"
     SAMPLING = "sampling"
     CALLABLE = "callable"
 

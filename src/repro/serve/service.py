@@ -50,6 +50,88 @@ from ..core.experiments import ensure_picklable
 from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
 from .jobs import Job, JobKind, JobStatus
 from .scheduler import SimulationRequest, coalesce_requests, run_batched
+from .specs import (
+    CallableJobSpec,
+    QualityJobSpec,
+    SimulateJobSpec,
+    SweepJobResult,
+    SweepJobSpec,
+)
+
+
+class _JobSink:
+    """Completion adapter: one plain simulation job behind one request."""
+
+    __slots__ = ("job",)
+
+    def __init__(self, job: Job):
+        self.job = job
+
+    def claim(self) -> bool:
+        return self.job.mark_running()
+
+    def deliver(self, report: Any) -> None:
+        self.job.mark_done(report)
+
+    def fail(self, error: BaseException) -> None:
+        self.job.mark_failed(error)
+
+
+class _SweepAggregate:
+    """Collects a planned sweep's per-request reports into one result.
+
+    The sweep job completes when every expanded request has delivered —
+    whether its report came from this batch, the cache, or another client's
+    in-flight batch it attached to as a follower.
+    """
+
+    def __init__(self, job: Job, spec: SweepJobSpec, num_requests: int):
+        self.job = job
+        self.spec = spec
+        self._reports: list[Any] = [None] * num_requests
+        self._remaining = num_requests
+        self._lock = threading.Lock()
+
+    def deliver(self, index: int, report: Any) -> None:
+        with self._lock:
+            if self._reports[index] is None:
+                self._reports[index] = report
+                self._remaining -= 1
+            finished = self._remaining == 0
+        if finished:
+            num_cases = self.spec.num_cases
+            self.job.mark_done(
+                SweepJobResult(
+                    name=self.spec.name,
+                    params=self.spec.cases(),
+                    reports=self._reports[:num_cases],
+                    baseline=self._reports[num_cases] if self.spec.baseline is not None else None,
+                )
+            )
+
+    def fail(self, error: BaseException) -> None:
+        self.job.mark_failed(error)  # first failure wins; later marks no-op
+
+
+class _SweepSink:
+    """Completion adapter: one expanded sweep case feeding its aggregate."""
+
+    __slots__ = ("aggregate", "index")
+
+    def __init__(self, aggregate: _SweepAggregate, index: int):
+        self.aggregate = aggregate
+        self.index = index
+
+    def claim(self) -> bool:
+        # The sweep job is RUNNING as a whole; a case only becomes dead work
+        # once the job reached a terminal state (e.g. another case failed it).
+        return not self.aggregate.job.done
+
+    def deliver(self, report: Any) -> None:
+        self.aggregate.deliver(self.index, report)
+
+    def fail(self, error: BaseException) -> None:
+        self.aggregate.fail(error)
 
 
 class EvaluationService:
@@ -102,8 +184,8 @@ class EvaluationService:
         self._ids = itertools.count(1)
         self._submitted: Counter[str] = Counter()
         # Single-flight registry: cache key of every simulation batch currently
-        # in flight -> follower jobs attached to it (completed with the batch).
-        self._inflight: dict[CacheKey, list[Job]] = {}
+        # in flight -> follower sinks attached to it (completed with the batch).
+        self._inflight: dict[CacheKey, list[Any]] = {}
         self._inflight_lock = threading.Lock()
         self.coalesced_attached = 0
         self.cancelled_count = 0
@@ -148,6 +230,56 @@ class EvaluationService:
         )
         job = self._new_job(JobKind.SIMULATION, label or f"simulate:{config.name}")
         return self._enqueue(job, request)
+
+    def submit_sweep(self, spec: SweepJobSpec, label: str = "") -> Job:
+        """Queue one server-planned sweep: the grid is expanded here, every
+        case joins the coalescing/single-flight scheduler, and the job
+        completes with a :class:`~repro.serve.specs.SweepJobResult`.
+
+        Invalid grids (unknown fields, values the config rejects) raise
+        :class:`ValueError` at submission, before anything is queued.
+        """
+        requests = spec.plan()
+        job = self._new_job(JobKind.SWEEP, label or spec.default_label())
+        return self._enqueue(job, (spec, requests))
+
+    def submit_quality(self, spec: QualityJobSpec, label: str = "") -> Job:
+        """Queue one declarative quality (FID) evaluation on the process pool.
+
+        The spec is resolved server-side to
+        :func:`repro.serve.workers.evaluate_quality`; nothing callable is
+        taken from the client.
+        """
+        from .workers import evaluate_quality
+
+        return self.submit_sampling(
+            evaluate_quality, kwargs=spec.worker_kwargs(), label=label or spec.default_label()
+        )
+
+    def submit_spec(self, spec: Any, label: str = "") -> Job:
+        """Queue one typed job spec (the HTTP front end's single entry point)."""
+        if isinstance(spec, SimulateJobSpec):
+            return self.submit_simulation(
+                spec.config,
+                spec.trace,
+                energy_table=spec.energy_table,
+                backend=spec.backend,
+                label=label or spec.default_label(),
+            )
+        if isinstance(spec, SweepJobSpec):
+            return self.submit_sweep(spec, label)
+        if isinstance(spec, QualityJobSpec):
+            return self.submit_quality(spec, label)
+        if isinstance(spec, CallableJobSpec):
+            fn = spec.resolve()  # raises ValueError for unregistered names
+            submit = self.submit_sampling if spec.pool == "process" else self.submit_callable
+            return submit(
+                fn, args=spec.args, kwargs=spec.kwargs, label=label or spec.default_label()
+            )
+        raise TypeError(
+            f"not a job spec: {type(spec).__name__} (expected one of "
+            "SimulateJobSpec, SweepJobSpec, QualityJobSpec, CallableJobSpec)"
+        )
 
     def submit_sampling(
         self,
@@ -198,9 +330,23 @@ class EvaluationService:
             except KeyError:
                 raise KeyError(f"unknown job {job_id!r}") from None
 
-    def jobs(self) -> list[Job]:
+    def jobs(self, status: "JobStatus | str | None" = None, limit: int | None = None) -> list[Job]:
+        """Known jobs in submission order, optionally filtered and capped.
+
+        ``status`` keeps only jobs in that state; ``limit`` keeps the most
+        recently submitted matches (mirrored by ``GET /jobs?status=&limit=``
+        and :meth:`RemoteEvaluationClient.list_jobs`).
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
         with self._condition:
-            return list(self._jobs.values())
+            listing = list(self._jobs.values())
+        if status is not None:
+            wanted = JobStatus(status)
+            listing = [job for job in listing if job.status is wanted]
+        if limit is not None:
+            listing = listing[len(listing) - min(limit, len(listing)) :]
+        return listing
 
     def status(self, job_id: str) -> JobStatus:
         return self.job(job_id).status
@@ -276,10 +422,12 @@ class EvaluationService:
                         job.mark_failed(exc)
 
     def _dispatch(self, drained: list[tuple[Job, Any]]) -> None:
-        simulations: list[tuple[Job, SimulationRequest]] = []
+        simulations: list[tuple[Any, SimulationRequest]] = []
         for job, payload in drained:
             if job.kind is JobKind.SIMULATION:
-                simulations.append((job, payload))
+                simulations.append((_JobSink(job), payload))
+            elif job.kind is JobKind.SWEEP:
+                simulations.extend(self._expand_sweep(job, payload))
             elif job.kind is JobKind.SAMPLING:
                 self._dispatch_process_job(job, payload)
             else:
@@ -290,40 +438,56 @@ class EvaluationService:
         # Single-flight: requests whose cache key already has a batch in
         # flight (from an earlier drain, e.g. another client submitting the
         # same sweep) attach as followers and are completed with that batch.
-        # Everything else becomes a leader and registers its key.
-        leaders: list[tuple[Job, SimulationRequest]] = []
+        # Everything else becomes a leader and registers its key.  A "sink"
+        # is the completion target of one request — a whole simulation job,
+        # or one expanded case of a sweep job.
+        leaders: list[tuple[Any, SimulationRequest]] = []
         with self._inflight_lock:
-            for job, request in simulations:
+            for sink, request in simulations:
                 followers = self._inflight.get(request.key())
                 if followers is not None:
-                    followers.append(job)
+                    followers.append(sink)
                     self.coalesced_attached += 1
                 else:
                     self._inflight[request.key()] = []
-                    leaders.append((job, request))
+                    leaders.append((sink, request))
 
         # Coalesce the leaders drained together: each config/energy/backend
         # group becomes one batched thread-pool task, so groups run in
         # parallel while traces inside a group share a single NumPy pass.
-        requests_by_id = {id(request): job for job, request in leaders}
+        sinks_by_request = {id(request): sink for sink, request in leaders}
         for group in coalesce_requests([request for _, request in leaders]):
-            group_jobs = [requests_by_id[id(request)] for request in group]
-            self._threads.submit(self._run_simulation_group, group_jobs, group)
+            group_sinks = [sinks_by_request[id(request)] for request in group]
+            self._threads.submit(self._run_simulation_group, group_sinks, group)
 
-    def _run_simulation_group(self, jobs: list[Job], requests: list[SimulationRequest]) -> None:
-        # Claim each leader; a job cancelled between coalescing and this point
-        # is skipped.  Its key stays registered only if followers already
-        # attached (they still need the result) — otherwise it is unregistered
-        # so later identical requests simulate freshly.
-        live_jobs: list[Job | None] = []
+    def _expand_sweep(self, job: Job, payload: Any) -> list[tuple[Any, SimulationRequest]]:
+        """Turn one queued sweep job into per-case sinks for the scheduler.
+
+        The job is claimed here (server-side planning *is* its execution
+        starting), so cancellation remains possible only while it sits in
+        the service queue — the same contract as every other kind.
+        """
+        spec, requests = payload
+        if not job.mark_running():  # cancelled while queued
+            return []
+        aggregate = _SweepAggregate(job, spec, len(requests))
+        return [(_SweepSink(aggregate, index), request) for index, request in enumerate(requests)]
+
+    def _run_simulation_group(self, sinks: list[Any], requests: list[SimulationRequest]) -> None:
+        # Claim each leader; a sink whose job was cancelled between
+        # coalescing and this point is skipped.  Its key stays registered
+        # only if followers already attached (they still need the result) —
+        # otherwise it is unregistered so later identical requests simulate
+        # freshly.
+        live_sinks: list[Any | None] = []
         live_requests: list[SimulationRequest] = []
         with self._inflight_lock:
-            for job, request in zip(jobs, requests):
-                if job.mark_running():
-                    live_jobs.append(job)
+            for sink, request in zip(sinks, requests):
+                if sink.claim():
+                    live_sinks.append(sink)
                     live_requests.append(request)
                 elif self._inflight.get(request.key()):
-                    live_jobs.append(None)
+                    live_sinks.append(None)
                     live_requests.append(request)
                 else:
                     self._inflight.pop(request.key(), None)
@@ -332,40 +496,40 @@ class EvaluationService:
         try:
             reports = run_batched(live_requests, cache=self.cache)
         except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
-            self._finish_group(live_jobs, live_requests, error=exc)
+            self._finish_group(live_sinks, live_requests, error=exc)
             return
-        self._finish_group(live_jobs, live_requests, reports=reports)
+        self._finish_group(live_sinks, live_requests, reports=reports)
 
     def _finish_group(
         self,
-        jobs: list[Job | None],
+        sinks: list[Any | None],
         requests: list[SimulationRequest],
         reports: list[Any] | None = None,
         error: BaseException | None = None,
     ) -> None:
-        """Complete a batch's leader jobs and every follower attached to its keys."""
+        """Complete a batch's leader sinks and every follower attached to its keys."""
         with self._inflight_lock:
             followers = {
                 key: self._inflight.pop(key, []) for key in {r.key() for r in requests}
             }
         if error is not None:
-            for job in jobs:
-                if job is not None:
-                    job.mark_failed(error)
+            for sink in sinks:
+                if sink is not None:
+                    sink.fail(error)
             for attached in followers.values():
-                for job in attached:
-                    job.mark_failed(error)
+                for sink in attached:
+                    sink.fail(error)
             return
         assert reports is not None
         reports_by_key = {
             request.key(): report for request, report in zip(requests, reports)
         }
-        for job, report in zip(jobs, reports):
-            if job is not None:
-                job.mark_done(report)
+        for sink, report in zip(sinks, reports):
+            if sink is not None:
+                sink.deliver(report)
         for key, attached in followers.items():
-            for job in attached:
-                job.mark_done(reports_by_key[key])
+            for sink in attached:
+                sink.deliver(reports_by_key[key])
 
     def _dispatch_thread_job(self, job: Job, payload: Any) -> None:
         fn, args, kwargs = payload

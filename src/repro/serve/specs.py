@@ -1,0 +1,364 @@
+"""Declarative, typed job specifications for the evaluation service.
+
+Before the typed wire schema, remote jobs crossed the HTTP boundary as
+base64-encoded pickles — including *callables*, which meant the server
+executed whatever bytes a client sent and both ends had to run the same
+codebase.  This module replaces that with declarative specs: a client
+states *what* to evaluate, the server resolves *how* entirely on its side.
+
+Four spec types cover the service surface:
+
+:class:`SimulateJobSpec`
+    One workload trace on one accelerator configuration (the wire form of
+    ``EvaluationService.submit_simulation``).
+:class:`QualityJobSpec`
+    One Table I/II quantization scheme FID-evaluated on one workload,
+    resolved server-side to :func:`repro.serve.workers.evaluate_quality` on
+    the process pool.
+:class:`SweepJobSpec`
+    **Server-side sweep planning**: one Cartesian grid over
+    :class:`~repro.accelerator.config.AcceleratorConfig` fields plus one
+    trace.  The server expands the grid (:meth:`SweepJobSpec.plan`), routes
+    every case through the single-flight coalescing scheduler, and answers
+    with a :class:`SweepJobResult` — so N clients submitting the same grid
+    cost one simulation per unique design point, and clients no longer
+    pre-plan N jobs.
+:class:`CallableJobSpec`
+    A *named* function from the wire-function registry with plain-data
+    arguments.  Only functions explicitly registered on the server
+    (:func:`register_wire_function`) are callable — nothing arbitrary
+    crosses the wire.
+
+All specs (and :class:`SweepJobResult`) carry versioned wire schemas
+registered with :mod:`repro.core.codec`, so they round-trip through plain
+JSON and unknown names/versions are rejected before any work is queued.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from ..accelerator.config import AcceleratorConfig
+from ..accelerator.energy import EnergyTable
+from ..accelerator.simulator import SimulationReport, WorkloadTrace
+from ..accelerator.workload import ConvLayerWorkload
+from ..core import codec
+from ..core.codec import Decoder, Encoder, register_schema
+from ..core.schemas import WORKLOAD_TRACE_SCHEMA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import SimulationRequest
+
+#: AcceleratorConfig fields a sweep grid may vary (``name`` labels a config,
+#: ``pe`` is a nested dataclass; neither is a sweepable scalar knob).
+SWEEPABLE_CONFIG_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(AcceleratorConfig)
+) - {"name", "pe"}
+
+
+# -- wire-function registry --------------------------------------------------------
+
+_WIRE_FUNCTIONS: dict[str, Callable[..., Any]] = {}
+_WIRE_NAMES: dict[Callable[..., Any], str] = {}
+
+
+def register_wire_function(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Allow ``fn`` to be invoked by remote clients under ``name``.
+
+    This is the server-side allowlist that replaces pickled callables: a
+    :class:`CallableJobSpec` can only name functions registered here.
+    Re-registering a name rebinds it (tests rely on that).
+    """
+    _WIRE_FUNCTIONS[name] = fn
+    _WIRE_NAMES[fn] = name
+    return fn
+
+
+def resolve_wire_function(name: str) -> Callable[..., Any]:
+    """The function registered under ``name``; raises with the known names."""
+    try:
+        return _WIRE_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown wire function {name!r}; this server registers "
+            f"{sorted(_WIRE_FUNCTIONS)} (see repro.serve.specs.register_wire_function)"
+        ) from None
+
+
+def wire_function_name(fn: Callable[..., Any]) -> str | None:
+    """The wire name ``fn`` is registered under, or None."""
+    return _WIRE_NAMES.get(fn)
+
+
+def require_wire_name(fn: Callable[..., Any] | str) -> str:
+    """Resolve a callable (or name) to its wire-function name, or explain how.
+
+    The one validation every remote submission path shares: remote jobs name
+    server-side functions instead of shipping code, so anything not in the
+    registry is rejected with the registration recipe.
+    """
+    if isinstance(fn, str):
+        return fn
+    name = wire_function_name(fn)
+    if name is None:
+        raise ValueError(
+            f"{fn!r} is not a registered wire function: remote jobs name "
+            "server-side functions instead of shipping code, so register it "
+            "with repro.serve.specs.register_wire_function (on the server) "
+            "or pass its registered name as a string"
+        )
+    return name
+
+
+# -- trace helpers -----------------------------------------------------------------
+
+
+def _encode_trace_field(trace: WorkloadTrace, ctx: Encoder) -> Any:
+    return ctx.encode(trace, name=WORKLOAD_TRACE_SCHEMA)
+
+
+def _decode_trace_field(value: Any, ctx: Decoder) -> WorkloadTrace:
+    """Accept a ``workload_trace`` envelope or bare nested lists of workloads."""
+    if isinstance(value, Mapping) and codec.SCHEMA_KEY in value:
+        return ctx.decode(value)
+    trace = ctx.value(value)
+    if not isinstance(trace, list) or not all(isinstance(step, list) for step in trace):
+        raise codec.SchemaError("a trace must be a list of per-step workload lists")
+    for step in trace:
+        for workload in step:
+            if not isinstance(workload, ConvLayerWorkload):
+                raise codec.SchemaError(
+                    "trace steps must contain conv_layer_workload envelopes, "
+                    f"got {type(workload).__name__}"
+                )
+    return trace
+
+
+def _decode_optional(value: Any, ctx: Decoder, cls: type, what: str) -> Any:
+    if value is None:
+        return None
+    decoded = ctx.value(value)
+    if not isinstance(decoded, cls):
+        raise codec.SchemaError(f"{what} must be a {cls.__name__} envelope or null")
+    return decoded
+
+
+# -- job specifications ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimulateJobSpec:
+    """One trace on one accelerator configuration."""
+
+    config: AcceleratorConfig
+    trace: WorkloadTrace
+    energy_table: EnergyTable | None = None
+    backend: str | None = None
+
+    def default_label(self) -> str:
+        return f"simulate:{self.config.name}"
+
+
+@dataclass(frozen=True)
+class QualityJobSpec:
+    """One quantization scheme FID-evaluated on one workload (process pool)."""
+
+    workload: str
+    scheme: str
+    resolution: int | None = None
+    pipeline_overrides: dict[str, Any] = field(default_factory=dict)
+    artifact_dir: str | None = None
+
+    def default_label(self) -> str:
+        return f"quality:{self.scheme}"
+
+    def worker_kwargs(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class CallableJobSpec:
+    """A named, server-registered function with plain-data arguments."""
+
+    function: str
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: ``"thread"`` for simulation-bound work, ``"process"`` for GIL-bound
+    #: sampling work (mirrors submit_callable / submit_sampling).
+    pool: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', got {self.pool!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def default_label(self) -> str:
+        return f"call:{self.function}"
+
+    def resolve(self) -> Callable[..., Any]:
+        return resolve_wire_function(self.function)
+
+
+@dataclass(frozen=True)
+class SweepJobSpec:
+    """One Cartesian grid over accelerator knobs, planned server-side.
+
+    ``grid`` maps :class:`AcceleratorConfig` field names to value lists; the
+    cross product is enumerated in row-major order (last parameter fastest),
+    matching :class:`repro.core.experiments.SweepSpec`.  ``baseline``, when
+    given, is simulated on the same trace and returned alongside the cases
+    (the dense-baseline comparison every sweep report needs).
+    """
+
+    base: AcceleratorConfig
+    grid: dict[str, list[Any]]
+    trace: WorkloadTrace
+    baseline: AcceleratorConfig | None = None
+    energy_table: EnergyTable | None = None
+    backend: str | None = None
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("sweep grid must name at least one parameter")
+        unknown = set(self.grid) - SWEEPABLE_CONFIG_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown AcceleratorConfig field(s) {sorted(unknown)}; "
+                f"sweepable fields: {sorted(SWEEPABLE_CONFIG_FIELDS)}"
+            )
+        for param, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ValueError(f"sweep parameter {param!r} needs a non-empty value list")
+
+    def default_label(self) -> str:
+        return f"sweep:{self.name}"
+
+    @property
+    def num_cases(self) -> int:
+        size = 1
+        for values in self.grid.values():
+            size *= len(values)
+        return size
+
+    def cases(self) -> list[dict[str, Any]]:
+        """All parameter assignments of the grid, in deterministic order."""
+        names = list(self.grid)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.grid[name] for name in names))
+        ]
+
+    def plan(self) -> "list[SimulationRequest]":
+        """Expand the grid into simulation requests (cases first, baseline last).
+
+        Invalid parameter values surface here as :class:`ValueError` from the
+        config's own validation, i.e. at submission time, before anything is
+        queued — as does an unknown backend name, which would otherwise only
+        fail once the scheduler fingerprints the requests.
+        """
+        from ..accelerator.backends import resolve_backend_name
+        from .scheduler import SimulationRequest
+
+        resolve_backend_name(self.backend)
+
+        requests = [
+            SimulationRequest(
+                config=dataclasses.replace(self.base, **params),
+                trace=self.trace,
+                energy_table=self.energy_table,
+                backend=self.backend,
+            )
+            for params in self.cases()
+        ]
+        if self.baseline is not None:
+            requests.append(
+                SimulationRequest(
+                    config=self.baseline,
+                    trace=self.trace,
+                    energy_table=self.energy_table,
+                    backend=self.backend,
+                )
+            )
+        return requests
+
+
+@dataclass
+class SweepJobResult:
+    """A planned sweep's outcome: one report per case, plus the baseline."""
+
+    name: str
+    params: list[dict[str, Any]]
+    reports: list[SimulationReport]
+    baseline: SimulationReport | None = None
+
+
+#: Spec types the HTTP layer accepts in ``POST /jobs`` envelopes.
+JOB_SPEC_TYPES = (SimulateJobSpec, QualityJobSpec, CallableJobSpec, SweepJobSpec)
+
+
+# -- wire schemas ------------------------------------------------------------------
+
+
+def _encode_simulate(spec: SimulateJobSpec, ctx: Encoder) -> dict:
+    return {
+        "config": ctx.encode(spec.config),
+        "trace": _encode_trace_field(spec.trace, ctx),
+        "energy_table": None if spec.energy_table is None else ctx.encode(spec.energy_table),
+        "backend": spec.backend,
+    }
+
+
+def _decode_simulate(doc: Mapping[str, Any], ctx: Decoder) -> SimulateJobSpec:
+    config = ctx.value(doc["config"])
+    if not isinstance(config, AcceleratorConfig):
+        raise codec.SchemaError("'config' must be an accelerator_config envelope")
+    return SimulateJobSpec(
+        config=config,
+        trace=_decode_trace_field(doc["trace"], ctx),
+        energy_table=_decode_optional(doc.get("energy_table"), ctx, EnergyTable, "'energy_table'"),
+        backend=doc.get("backend"),
+    )
+
+
+register_schema("simulate_spec", 1, _encode_simulate, _decode_simulate, type=SimulateJobSpec)
+
+
+def _encode_sweep(spec: SweepJobSpec, ctx: Encoder) -> dict:
+    return {
+        "base": ctx.encode(spec.base),
+        "grid": {param: ctx.value(list(values)) for param, values in spec.grid.items()},
+        "trace": _encode_trace_field(spec.trace, ctx),
+        "baseline": None if spec.baseline is None else ctx.encode(spec.baseline),
+        "energy_table": None if spec.energy_table is None else ctx.encode(spec.energy_table),
+        "backend": spec.backend,
+        "name": spec.name,
+    }
+
+
+def _decode_sweep(doc: Mapping[str, Any], ctx: Decoder) -> SweepJobSpec:
+    base = ctx.value(doc["base"])
+    if not isinstance(base, AcceleratorConfig):
+        raise codec.SchemaError("'base' must be an accelerator_config envelope")
+    grid = ctx.value(doc["grid"])
+    if not isinstance(grid, dict):
+        raise codec.SchemaError("'grid' must map config fields to value lists")
+    return SweepJobSpec(
+        base=base,
+        grid=grid,
+        trace=_decode_trace_field(doc["trace"], ctx),
+        baseline=_decode_optional(doc.get("baseline"), ctx, AcceleratorConfig, "'baseline'"),
+        energy_table=_decode_optional(doc.get("energy_table"), ctx, EnergyTable, "'energy_table'"),
+        backend=doc.get("backend"),
+        name=doc.get("name", "sweep"),
+    )
+
+
+register_schema("sweep_spec", 1, _encode_sweep, _decode_sweep, type=SweepJobSpec)
+
+codec.register_dataclass(QualityJobSpec, "quality_spec")
+codec.register_dataclass(CallableJobSpec, "callable_spec")
+codec.register_dataclass(SweepJobResult, "sweep_result")

@@ -10,11 +10,18 @@ out.  Each worker process builds its own pipeline; the persistent artifact
 store (``REPRO_ARTIFACT_DIR`` or the explicit ``artifact_dir`` argument)
 is what lets workers share FID reference statistics and sparsity traces
 instead of recomputing them.
+
+Both entry points are registered as *wire functions* (see
+:func:`repro.serve.specs.register_wire_function`), so remote clients can
+invoke them by name through a ``callable_spec`` — the server resolves the
+name to these functions; no code crosses the wire.
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+from .specs import register_wire_function
 
 
 def _build_pipeline(
@@ -85,3 +92,7 @@ def evaluate_hardware(
         "sqdm_energy_pj": evaluation.sqdm_report.total_energy.total_pj,
         "sqdm_time_ms": evaluation.sqdm_report.total_time_ms,
     }
+
+
+register_wire_function("evaluate_quality", evaluate_quality)
+register_wire_function("evaluate_hardware", evaluate_hardware)

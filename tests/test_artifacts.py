@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import threading
 import time
 
@@ -15,13 +17,33 @@ from repro.accelerator import (
     random_workload,
     sqdm_config,
 )
+from repro.core import codec
 from repro.core.artifacts import (
+    _MAGIC_V1,
     ArtifactStore,
     artifact_store_at,
     default_artifact_store,
 )
-from repro.core.report_cache import ReportCache, simulate_cached
+from repro.core.report_cache import (
+    REPORT_ARTIFACT_KIND,
+    ReportCache,
+    artifact_key_for,
+    simulate_cached,
+)
 from repro.serve.scheduler import SimulationRequest, run_batched
+
+
+class _OpaqueLegacy:
+    """Picklable (module-level) but carries no wire schema."""
+
+
+def write_legacy_artifact(store: ArtifactStore, kind: str, key: str, obj) -> None:
+    """Plant a version-1 (pickled) artifact, as written by older releases."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = _MAGIC_V1 + hashlib.sha256(payload).digest() + payload
+    path = store.path_for(kind, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
 
 
 @pytest.fixture()
@@ -126,16 +148,171 @@ class TestArtifactStore:
         assert store.root == (tmp_path / "env-store").resolve()
 
 
+class TestTypedFormatAndLegacy:
+    def test_artifacts_are_schema_tagged_json_not_pickles(self, store):
+        """The on-disk payload is a JSON header + binary sidecars."""
+        key = ArtifactStore.key_for("typed")
+        store.put("report", key, {"cycles": 2.0, "array": np.arange(3.0)})
+        blob = store.path_for("report", key).read_bytes()
+        assert blob.startswith(b"RPRO-ART2\n")
+        assert b"$schema" in blob and b"value@1" in blob
+        # the array's 24 raw bytes ride as a sidecar, not inline base64
+        assert np.arange(3.0).tobytes() in blob
+
+    def test_put_rejects_schema_less_objects(self, store):
+        class NotWireSafe:
+            pass
+
+        with pytest.raises(codec.SchemaError, match="register"):
+            store.put("report", ArtifactStore.key_for("bad"), NotWireSafe())
+        assert store.count() == 0
+
+    def test_legacy_pickle_read_requires_opt_in(self, tmp_path):
+        key = ArtifactStore.key_for("legacy")
+        locked = ArtifactStore(tmp_path / "s", legacy_pickle=False)
+        write_legacy_artifact(locked, "report", key, {"value": 42})
+        assert locked.get("report", key) is None
+        assert locked.stats.legacy_skipped == 1
+        assert locked.stats.corrupt_discarded == 0
+        assert locked.contains("report", key), "legacy artifact must not be quarantined"
+
+        permissive = ArtifactStore(tmp_path / "s", legacy_pickle=True)
+        assert permissive.get("report", key) == {"value": 42}
+        assert permissive.stats.hits == 1
+
+    def test_legacy_env_var_opt_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_LEGACY_PICKLE", "1")
+        assert ArtifactStore(tmp_path / "a").legacy_pickle is True
+        monkeypatch.delenv("REPRO_ARTIFACT_LEGACY_PICKLE")
+        assert ArtifactStore(tmp_path / "b").legacy_pickle is False
+
+    def test_unknown_schema_version_is_miss_not_corruption(self, store):
+        """Files written by newer code are refused, not deleted."""
+        key = ArtifactStore.key_for("future")
+        store.put("report", key, {"v": 1})
+        path = store.path_for("report", key)
+        blob = path.read_bytes()
+        future = blob.replace(b"value@1", b"value@9")
+        payload = future[len(b"RPRO-ART2\n") + 32 :]
+        path.write_bytes(b"RPRO-ART2\n" + hashlib.sha256(payload).digest() + payload)
+        assert store.get("report", key) is None
+        assert store.stats.corrupt_discarded == 0
+        assert path.exists()
+
+    def test_migrate_legacy_rewrites_in_place(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", legacy_pickle=False)
+        for i in range(3):
+            write_legacy_artifact(store, "report", ArtifactStore.key_for(f"m{i}"), {"i": i})
+        store.put("trace", ArtifactStore.key_for("fresh"), [1, 2, 3])
+
+        result = store.migrate_legacy()
+        assert result.migrated == 3
+        assert result.already_current == 1
+        assert result.failed == 0
+        # readable without any pickle opt-in now, and stored as version 2
+        for i in range(3):
+            key = ArtifactStore.key_for(f"m{i}")
+            assert store.get("report", key) == {"i": i}
+            assert store.path_for("report", key).read_bytes().startswith(b"RPRO-ART2\n")
+
+    def test_migrate_counts_unconvertible_artifacts_as_failed(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        write_legacy_artifact(store, "report", ArtifactStore.key_for("op"), _OpaqueLegacy())
+        result = store.migrate_legacy()
+        assert result.failed == 1 and result.migrated == 0
+        assert store.contains("report", ArtifactStore.key_for("op"))
+
+    def test_migrated_store_serves_reports_without_resimulation(self, store, small_trace):
+        """Acceptance: after migration, a warm restart is 100% store-served."""
+        report = AcceleratorSimulator(sqdm_config()).run_trace(small_trace)
+        key = ReportCache.key(sqdm_config(), small_trace)
+        write_legacy_artifact(store, REPORT_ARTIFACT_KIND, artifact_key_for(key), report)
+
+        cold = ReportCache(store=store)
+        assert cold.lookup_key(key) is None  # legacy payload refused by default
+        assert store.stats.legacy_skipped == 1
+
+        assert store.migrate_legacy().migrated == 1
+
+        warm = ReportCache(store=store)
+        loaded = warm.lookup_key(key)
+        assert loaded is not None
+        assert warm.stats.disk_hits == 1 and warm.stats.misses == 0
+        assert loaded.total_cycles == report.total_cycles
+        assert loaded.total_energy.total_pj == report.total_energy.total_pj
+
+    def test_cli_cache_migrate(self, tmp_path, capsys):
+        from repro.serve.cli import main as cli_main
+
+        store = ArtifactStore(tmp_path / "cli-store")
+        write_legacy_artifact(store, "report", ArtifactStore.key_for("x"), {"x": 1})
+        assert cli_main(["cache", "migrate", "--artifact-dir", str(store.root)]) == 0
+        assert "migrated 1 legacy artifact" in capsys.readouterr().out
+        assert store.get("report", ArtifactStore.key_for("x")) == {"x": 1}
+
+
+class TestMetadataLRU:
+    def test_last_use_tracked_in_store_metadata_not_atime(self, store):
+        """Eviction order must survive relatime/noatime mounts: frozen file
+        atimes (even ones pointing far into the future) are ignored once a
+        stamp exists."""
+        old_key = ArtifactStore.key_for("old")
+        new_key = ArtifactStore.key_for("new")
+        store.put("report", old_key, os.urandom(2048))
+        store.put("report", new_key, os.urandom(2048))
+        store.touch("report", old_key, when=time.time() - 5000)
+        store.touch("report", new_key, when=time.time())
+        # simulate a filesystem whose atime says the opposite of the truth
+        os.utime(store.path_for("report", old_key))
+        far_past = time.time() - 9999
+        os.utime(store.path_for("report", new_key), (far_past, far_past))
+
+        per_artifact = store.total_bytes() // 2
+        store.evict(max_bytes=per_artifact + per_artifact // 2)
+        assert not store.contains("report", old_key)
+        assert store.contains("report", new_key)
+
+    def test_get_refreshes_metadata_stamp(self, store):
+        key = ArtifactStore.key_for("refreshed")
+        store.put("report", key, b"payload")
+        store.touch("report", key, when=time.time() - 5000)
+        stamp = store._stamp_path(store.path_for("report", key))
+        before = stamp.stat().st_mtime
+        assert store.get("report", key) == b"payload"
+        assert stamp.stat().st_mtime > before
+
+    def test_eviction_removes_stamp_files(self, store):
+        key = ArtifactStore.key_for("stamped")
+        store.put("report", key, b"x")
+        stamp = store._stamp_path(store.path_for("report", key))
+        assert stamp.exists()
+        store.evict(max_bytes=1)
+        assert not stamp.exists()
+        # wipe() cleans stamps too
+        key2 = ArtifactStore.key_for("stamped2")
+        store.put("report", key2, b"y")
+        store.wipe()
+        assert not store._stamp_path(store.path_for("report", key2)).exists()
+
+    def test_missing_stamp_falls_back_to_mtime(self, store):
+        key = ArtifactStore.key_for("no-stamp")
+        store.put("report", key, b"x")
+        path = store.path_for("report", key)
+        store._remove_stamp(path)
+        stamp_time = store._last_used(path, path.stat())
+        assert abs(stamp_time - path.stat().st_mtime) < 1e-6
+
+
 class TestEviction:
     @staticmethod
     def _fill(store: ArtifactStore, count: int, payload_bytes: int = 2048) -> list[str]:
         keys = [ArtifactStore.key_for(f"artifact-{i}") for i in range(count)]
         for i, key in enumerate(keys):
             store.put("report", key, os.urandom(payload_bytes))
-            # Distinct, strictly increasing last-use stamps so LRU order is
+            # Distinct, strictly increasing last-use stamps (in the store's
+            # own metadata, not filesystem atime) so LRU order is
             # deterministic regardless of filesystem timestamp granularity.
-            path = store.path_for("report", key)
-            os.utime(path, (time.time() - 1000 + i, time.time() - 1000 + i))
+            store.touch("report", key, when=time.time() - 1000 + i)
         return keys
 
     def test_size_cap_evicts_least_recently_used_first(self, tmp_path):

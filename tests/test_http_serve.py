@@ -1,4 +1,11 @@
-"""Tests for the HTTP front end and the remote evaluation client."""
+"""Tests for the HTTP front end and the remote evaluation client.
+
+The wire contract under test: everything crossing the HTTP boundary is
+plain, versioned, schema-tagged JSON — job submissions are typed specs,
+results are self-describing envelopes, and nothing on the wire requires
+unpickling (see ``TestRawJSONWire``, which drives a sweep with nothing but
+``urllib`` and ``json``).
+"""
 
 from __future__ import annotations
 
@@ -24,11 +31,24 @@ from repro.serve import (
     JobStatus,
     RemoteEvaluationClient,
     RemoteServiceError,
+    SweepJobSpec,
+    register_wire_function,
     start_http_server,
 )
 from repro.serve.cli import main as cli_main
 
 from test_serve import _module_level_boom, _module_level_square, make_trace
+
+register_wire_function("square", _module_level_square)
+register_wire_function("boom", _module_level_boom)
+
+
+def _module_level_wait_forever(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+register_wire_function("wait_forever", _module_level_wait_forever)
 
 
 @pytest.fixture()
@@ -46,9 +66,19 @@ def served(tmp_path):
         service.close(cancel_queued=True)
 
 
-def _module_level_wait_forever(seconds):
-    time.sleep(seconds)
-    return "done"
+def _raw_request(endpoint, path, data=None, headers=None, method=None):
+    """urllib round-trip returning (status, parsed JSON body)."""
+    request = urllib.request.Request(
+        f"{endpoint}{path}",
+        data=data,
+        headers=headers if headers is not None else {"Content-Type": "application/json"},
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
 
 
 class TestEndpoints:
@@ -56,8 +86,16 @@ class TestEndpoints:
         client, _, store, _ = served
         health = client.health()
         assert health["status"] == "ok"
+        assert health["wire_version"] == 1
         assert health["store"] == str(store.root)
         assert health["service"]["closed"] is False
+
+    def test_schemas_endpoint_lists_versions(self, served):
+        client, _, _, _ = served
+        listing = client.schemas()
+        assert listing["wire_version"] == 1
+        for name in ("simulate_spec", "sweep_spec", "simulation_report", "sweep_result"):
+            assert listing["schemas"][name] == [1]
 
     def test_cache_stats_shape(self, served):
         client, _, _, _ = served
@@ -65,20 +103,6 @@ class TestEndpoints:
         assert set(stats["cache"]) >= {"memory_hits", "disk_hits", "misses", "hit_rate"}
         assert stats["store"]["total_artifacts"] == 0
         assert stats["service"]["submitted"] == {}
-
-    def test_unknown_paths_and_kinds(self, served):
-        client, _, _, server = served
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
-            urllib.request.urlopen(f"{server.endpoint}/nope")
-        assert excinfo.value.code == 404
-        with pytest.raises(RemoteServiceError, match="unknown job kind"):
-            client._submit("warp", (None, (), {}), "bad")
-        with pytest.raises(RemoteServiceError, match="payload"):
-            client._request("POST", "/jobs", {"kind": "callable"})
-        with pytest.raises(RemoteServiceError, match=r"bad simulation job payload.*HTTP 400"):
-            client._submit("simulation", {"trace": []}, "no-config")  # missing 'config'
-        with pytest.raises(ValueError, match="picklable"):
-            client.submit(lambda: 1)  # rejected client-side, nothing hits the wire
 
     def test_evict_endpoint(self, served):
         client, _, store, _ = served
@@ -89,18 +113,206 @@ class TestEndpoints:
         assert store.count() == 0
 
 
-class TestRemoteJobs:
-    def test_callable_roundtrip(self, served):
+class TestHTTPErrorPaths:
+    def test_unknown_endpoint_is_404(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(server.endpoint, "/nope")
+        assert status == 404 and "unknown path" in body["error"]
+        status, _ = _raw_request(server.endpoint, "/jobs/x/y/z")
+        assert status == 404
+
+    def test_malformed_json_body_is_400(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(server.endpoint, "/jobs", data=b"{not json")
+        assert status == 400 and "not valid JSON" in body["error"]
+        status, body = _raw_request(server.endpoint, "/jobs", data=b'["an", "array"]')
+        assert status == 400 and "JSON object" in body["error"]
+
+    def test_missing_spec_is_400(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(server.endpoint, "/jobs", data=b'{"label": "x"}')
+        assert status == 400 and "'spec'" in body["error"]
+
+    def test_unknown_schema_name_is_400_with_known_names(self, served):
+        _, _, _, server = served
+        payload = json.dumps({"spec": {"$schema": "warp_drive@1"}}).encode()
+        status, body = _raw_request(server.endpoint, "/jobs", data=payload)
+        assert status == 400
+        assert "unknown schema" in body["error"] and "sweep_spec" in body["error"]
+
+    def test_unknown_schema_version_is_400_with_known_versions(self, served):
+        _, _, _, server = served
+        payload = json.dumps({"spec": {"$schema": "sweep_spec@99"}}).encode()
+        status, body = _raw_request(server.endpoint, "/jobs", data=payload)
+        assert status == 400 and "version" in body["error"]
+
+    def test_non_spec_envelope_is_400(self, served):
+        _, _, _, server = served
+        payload = json.dumps(
+            {"spec": {"$schema": "value@1", "value": {"just": "data"}}}
+        ).encode()
+        status, body = _raw_request(server.endpoint, "/jobs", data=payload)
+        assert status == 400 and "not a job spec" in body["error"]
+
+    def test_unregistered_wire_function_is_400(self, served):
+        _, _, _, server = served
+        payload = json.dumps(
+            {"spec": {"$schema": "callable_spec@1", "function": "rm_rf_slash"}}
+        ).encode()
+        status, body = _raw_request(server.endpoint, "/jobs", data=payload)
+        assert status == 400 and "unknown wire function" in body["error"]
+
+    def test_wrong_content_type_is_415(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(
+            server.endpoint,
+            "/jobs",
+            data=b"kind=sweep",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        assert status == 415 and "application/json" in body["error"]
+
+    def test_unacceptable_accept_header_is_406(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(
+            server.endpoint, "/healthz", headers={"Accept": "application/x-pickle"}
+        )
+        assert status == 406 and "application/json" in body["error"]
+        # JSON-compatible Accept values pass
+        for accept in ("application/json", "*/*", "text/html, application/*;q=0.9"):
+            status, _ = _raw_request(server.endpoint, "/healthz", headers={"Accept": accept})
+            assert status == 200, accept
+
+    def test_wire_version_mismatch_is_406(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(
+            server.endpoint, "/healthz", headers={"X-Repro-Wire-Version": "99"}
+        )
+        assert status == 406 and "wire version" in body["error"]
+
+    def test_oversized_body_is_413(self, tmp_path):
+        service = EvaluationService(cache=ReportCache(), max_workers=1)
+        server = start_http_server(service, port=0, max_request_bytes=1024)
+        try:
+            blob = json.dumps({"spec": {"$schema": "value@1", "value": "x" * 4096}}).encode()
+            status, body = _raw_request(server.endpoint, "/jobs", data=blob)
+            assert status == 413 and "exceeds" in body["error"]
+        finally:
+            server.close()
+            service.close(cancel_queued=True)
+
+    def test_body_skipping_refusals_close_the_connection(self):
+        """A 413 is sent before the body is read, so the server must close
+        the keep-alive connection instead of parsing the unread body as the
+        next request."""
+        import http.client
+
+        service = EvaluationService(cache=ReportCache(), max_workers=1)
+        server = start_http_server(service, port=0, max_request_bytes=1024)
+        try:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.putrequest("POST", "/jobs")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", "999999")
+            connection.endheaders()  # body intentionally never sent
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+            response.read()
+            connection.close()
+        finally:
+            server.close()
+            service.close(cancel_queued=True)
+
+    def test_quality_spec_artifact_dir_is_pinned_to_server_store(self, served, monkeypatch):
+        """Remote clients cannot aim server-side writes at arbitrary paths:
+        the server rewrites quality specs onto its own artifact store."""
+        _, service, store, server = served
+        captured = {}
+
+        def capture(spec, label=""):
+            captured["spec"] = spec
+            raise ValueError("captured before submission")
+
+        monkeypatch.setattr(service, "submit_spec", capture)
+        payload = json.dumps(
+            {
+                "spec": {
+                    "$schema": "quality_spec@1",
+                    "workload": "cifar10",
+                    "scheme": "INT8",
+                    "artifact_dir": "/definitely/not/allowed",
+                }
+            }
+        ).encode()
+        status, _ = _raw_request(server.endpoint, "/jobs", data=payload)
+        assert status == 400  # from the capture stub
+        assert captured["spec"].artifact_dir == str(store.root)
+
+    def test_cancelled_job_result_fetch(self, served):
+        """``?result=1`` on a cancelled job returns its summary, no result."""
+        client, service, _, server = served
+        blockers = [client.submit("wait_forever", 0.4) for _ in range(4)]
+        victim = client.submit("square", 5)
+        cancelled = victim.cancel()
+        client.wait_all([*blockers, victim], timeout=30)
+        status, body = _raw_request(server.endpoint, f"/jobs/{victim.id}?result=1")
+        assert status == 200
+        if cancelled:
+            assert body["status"] == "cancelled"
+            assert "result" not in body
+            assert "cancel" in body["error"]
+        else:  # lost the race benignly: it ran before the cancel arrived
+            assert body["status"] == "done" and "result" in body
+
+
+class TestJobListing:
+    def test_status_filter_and_limit(self, served):
         client, _, _, _ = served
-        job = client.submit(_module_level_square, 9)
+        jobs = [client.submit("square", i) for i in range(4)]
+        assert client.wait_all(jobs, timeout=30)
+        done = client.list_jobs(status="done")
+        assert {job.id for job in jobs} <= {job.id for job in done}
+        assert client.list_jobs(status=JobStatus.FAILED) == []
+        limited = client.list_jobs(status="done", limit=2)
+        assert len(limited) == 2
+        # limit keeps the most recently submitted matches
+        assert [job.id for job in limited] == [job.id for job in done[-2:]]
+        assert len(client.list_jobs(limit=0)) == 0
+
+    def test_invalid_filters_rejected(self, served):
+        _, _, _, server = served
+        status, body = _raw_request(server.endpoint, "/jobs?status=exploded")
+        assert status == 400 and "queued" in body["error"]
+        status, body = _raw_request(server.endpoint, "/jobs?limit=banana")
+        assert status == 400 and "integer" in body["error"]
+        status, body = _raw_request(server.endpoint, "/jobs?limit=-1")
+        assert status == 400
+
+
+class TestRemoteJobs:
+    def test_named_callable_roundtrip(self, served):
+        client, _, _, _ = served
+        job = client.submit("square", 9)
         assert job.result(timeout=30) == 81
         assert job.ok and job.done
         assert client.status(job.id) is JobStatus.DONE
         assert client.result(job.id, timeout=30) == 81
 
+    def test_registered_function_object_resolves_to_name(self, served):
+        client, _, _, _ = served
+        job = client.submit_callable(_module_level_square, args=(7,))
+        assert job.result(timeout=30) == 49
+
+    def test_unregistered_callable_rejected_client_side(self, served):
+        client, _, _, _ = served
+        with pytest.raises(ValueError, match="register_wire_function"):
+            client.submit(lambda: 1)  # nothing hits the wire
+
     def test_failed_job_surfaces_server_error(self, served):
         client, _, _, _ = served
-        job = client.submit(_module_level_boom)
+        job = client.submit("boom")
         assert job.wait(30)
         assert job.status is JobStatus.FAILED
         with pytest.raises(JobFailedError, match="boom"):
@@ -113,17 +325,10 @@ class TestRemoteJobs:
         with pytest.raises(KeyError):
             client.cancel("job-9999")
 
-    def test_jobs_listing(self, served):
-        client, _, _, _ = served
-        submitted = [client.submit(_module_level_square, i) for i in range(3)]
-        assert client.wait_all(submitted, timeout=30)
-        listed = {job.id for job in client.jobs()}
-        assert {job.id for job in submitted} <= listed
-
     def test_cancel_pending_job(self, served):
         client, service, _, _ = served
-        blockers = [client.submit(_module_level_wait_forever, 0.5) for _ in range(4)]
-        victim = client.submit(_module_level_square, 5)
+        blockers = [client.submit("wait_forever", 0.5) for _ in range(4)]
+        victim = client.submit("square", 5)
         cancelled = victim.cancel()
         assert client.wait_all([*blockers, victim], timeout=30)
         if cancelled:  # won the race: the job must report cancelled, not run
@@ -143,9 +348,99 @@ class TestRemoteJobs:
         assert report.total_energy.total_pj == expected.total_energy.total_pj
 
 
+class TestServerSideSweeps:
+    def test_sweep_spec_planned_and_batched_on_server(self, served):
+        """One grid submission -> per-case reports + baseline, all planned
+        server-side and bit-identical to local simulation."""
+        client, service, _, _ = served
+        trace = make_trace(41)
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.2, 0.4]},
+            trace=trace,
+            baseline=dense_baseline_config(),
+            name="remote-grid",
+        )
+        outcome = client.submit_sweep(spec).result(timeout=120)
+        assert outcome.name == "remote-grid"
+        assert outcome.params == [
+            {"sparsity_threshold": 0.2},
+            {"sparsity_threshold": 0.4},
+        ]
+        for params, report in zip(outcome.params, outcome.reports):
+            expected = AcceleratorSimulator(sqdm_config(**params)).run_trace(trace)
+            assert report.total_cycles == expected.total_cycles
+        expected_baseline = AcceleratorSimulator(dense_baseline_config()).run_trace(trace)
+        assert outcome.baseline.total_cycles == expected_baseline.total_cycles
+        # one job submitted, three unique keys simulated
+        stats = service.service_stats()
+        assert stats["submitted"] == {"sweep": 1}
+        assert service.cache.stats.misses == 3
+
+    def test_concurrent_sweeps_from_two_clients_coalesce(self, served):
+        """Acceptance: N clients submitting one grid each cost one simulation
+        per unique design point, via single-flight + the shared cache."""
+        client_a, service, _, server = served
+        client_b = RemoteEvaluationClient(server.endpoint, poll_interval=0.01)
+        trace = make_trace(42)
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.2, 0.4]},
+            trace=trace,
+            baseline=dense_baseline_config(),
+        )
+        results: dict[str, object] = {}
+
+        def sweep(name: str, client: RemoteEvaluationClient) -> None:
+            results[name] = client.submit_sweep(spec).result(timeout=120)
+
+        threads = [
+            threading.Thread(target=sweep, args=("a", client_a)),
+            threading.Thread(target=sweep, args=("b", client_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for report_a, report_b in zip(results["a"].reports, results["b"].reports):
+            assert report_a.total_cycles == report_b.total_cycles
+        # 2 sweeps x 3 requests over 3 unique keys: exactly 3 simulations.
+        assert service.cache.stats.misses == 3
+        assert service.service_stats()["submitted"] == {"sweep": 2}
+
+    def test_invalid_grid_rejected_before_queueing(self, served):
+        client, service, _, _ = served
+        with pytest.raises(ValueError, match="sweepable"):
+            SweepJobSpec(base=sqdm_config(), grid={"warp_factor": [9]}, trace=make_trace(1))
+        # a hand-crafted bad spec is refused by the server with 400
+        spec = SweepJobSpec(
+            base=sqdm_config(), grid={"sparsity_threshold": [0.2]}, trace=make_trace(1)
+        )
+        import repro.core.codec as codec
+
+        doc = codec.encode(spec)
+        doc["grid"] = {"warp_factor": [9]}
+        with pytest.raises(RemoteServiceError, match="sweepable"):
+            client._request("POST", "/jobs", {"spec": doc, "label": ""})
+        assert service.jobs() == []  # nothing was queued
+
+    def test_unknown_backend_rejected_at_submit(self, served):
+        client, service, _, _ = served
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.2]},
+            trace=make_trace(2),
+            backend="warp_drive",
+        )
+        with pytest.raises(RemoteServiceError, match="backend"):
+            client.submit_sweep(spec)
+        assert service.jobs() == []
+
+
 class TestMultiClientCoalescing:
     def test_two_clients_one_server_simulate_each_key_once(self, served):
-        """Acceptance: concurrent remote clients submitting the same sweep
+        """Concurrent remote clients submitting the same individual jobs
         coalesce through the scheduler — one simulation per unique key."""
         client_a, service, _, server = served
         client_b = RemoteEvaluationClient(server.endpoint, poll_interval=0.01)
@@ -203,19 +498,84 @@ class TestMultiClientCoalescing:
         assert warm_report.total_cycles == cold_report.total_cycles
 
 
+class TestRawJSONWire:
+    """Acceptance: nothing on the wire requires unpickling — a sweep can be
+    driven end to end with urllib + json alone (the curl contract)."""
+
+    def test_handwritten_sweep_spec_runs_and_returns_plain_json(self, served):
+        _, _, _, server = served
+        raw_trace = [
+            [
+                {
+                    "$schema": "conv_layer_workload@1",
+                    "name": "l0",
+                    "in_channels": 4,
+                    "out_channels": 4,
+                    "kernel_size": 3,
+                    "out_height": 4,
+                    "out_width": 4,
+                    "weight_bits": 4,
+                    "act_bits": 4,
+                    "channel_sparsity": [0.5, 0.0, 0.9, 0.2],
+                }
+            ]
+        ]
+        body = json.dumps(
+            {
+                "spec": {
+                    "$schema": "sweep_spec@1",
+                    "base": {"$schema": "accelerator_config@1", "name": "sqdm"},
+                    "grid": {"sparsity_threshold": [0.1, 0.3]},
+                    "trace": raw_trace,
+                    "baseline": {
+                        "$schema": "accelerator_config@1",
+                        "name": "dense_baseline",
+                        "num_dpe": 2,
+                        "num_spe": 0,
+                    },
+                },
+                "label": "curl-style",
+            }
+        ).encode()
+        status, summary = _raw_request(server.endpoint, "/jobs", data=body)
+        assert status == 201 and summary["kind"] == "sweep"
+
+        deadline = time.monotonic() + 60
+        while True:
+            status, doc = _raw_request(server.endpoint, f"/jobs/{summary['id']}?result=1")
+            if doc["status"] in ("done", "failed", "cancelled"):
+                break
+            assert time.monotonic() < deadline, "sweep job never finished"
+            time.sleep(0.02)
+        assert doc["status"] == "done", doc
+        result = doc["result"]
+        assert result["$schema"] == "sweep_result@1"
+        assert [case["$schema"] for case in result["reports"]] == ["simulation_report@1"] * 2
+        assert all(case["total_cycles"] > 0 for case in result["reports"])
+        assert result["baseline"]["total_cycles"] > 0
+
+    def test_http_and_client_modules_are_pickle_free(self):
+        """The serve wire modules must not import pickle or base64 at all."""
+        import repro.serve.client as client_module
+        import repro.serve.http as http_module
+
+        for module in (http_module, client_module):
+            source = open(module.__file__, encoding="utf-8").read()
+            assert "import pickle" not in source, module.__name__
+            assert "import base64" not in source, module.__name__
+
+
 class TestRemoteSweeps:
-    def test_run_sweep_remote_executor(self, served):
+    def test_run_sweep_remote_executor_with_wire_function(self, served):
         client, _, _, server = served
         result = run_sweep(
             _module_level_square, {"x": [2, 3, 4]}, executor="remote", endpoint=server.endpoint
         )
         assert result.values() == [4, 9, 16]
 
-    def test_run_sweep_remote_with_shared_client(self, served):
+    def test_run_sweep_remote_with_shared_client_and_name(self, served):
         client, _, _, _ = served
-        result = run_sweep(
-            _module_level_square, {"x": [5, 6]}, executor="remote", service=client
-        )
+        result = run_sweep("square", {"x": [5, 6]}, executor="remote", service=client)
         assert result.values() == [25, 36]
 
     def test_run_sweep_remote_captures_failures(self, served):
@@ -234,10 +594,10 @@ class TestRemoteSweeps:
         with pytest.raises(ValueError, match="endpoint"):
             run_sweep(_module_level_square, {"x": [1]}, executor="remote")
 
-    def test_run_sweep_remote_rejects_unpicklable_fn(self, served):
+    def test_run_sweep_remote_rejects_unregistered_fn(self, served):
         client, _, _, _ = served
         captured = []
-        with pytest.raises(ValueError, match="picklable case function"):
+        with pytest.raises(ValueError, match="register_wire_function"):
             run_sweep(
                 lambda i: captured.append(i), {"i": [0]}, executor="remote", service=client
             )
@@ -247,6 +607,9 @@ def _remote_flaky(i):
     if i == 1:
         raise RuntimeError("nope")
     return i
+
+
+register_wire_function("flaky", _remote_flaky)
 
 
 class TestCLIRemote:
@@ -283,7 +646,8 @@ class TestCLIRemote:
         assert remote["baseline_cycles"] == local["baseline_cycles"]
         assert remote["endpoint"] == server.endpoint
         assert remote["cache"]["misses"] == 3  # baseline + two cases, cold
-        assert remote["cache"]["server"]["service"]["submitted"]["simulation"] == 3
+        # the whole grid crossed the wire as ONE planned sweep job
+        assert remote["cache"]["server"]["service"]["submitted"]["sweep"] == 1
 
     def test_serve_cli_starts_and_shuts_down(self, tmp_path):
         import repro

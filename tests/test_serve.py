@@ -20,11 +20,14 @@ from repro.core.artifacts import ArtifactStore
 from repro.core.experiments import run_sweep
 from repro.core.report_cache import ReportCache
 from repro.serve import (
+    CallableJobSpec,
     EvaluationService,
     JobFailedError,
     JobStatus,
     SimulationRequest,
+    SweepJobSpec,
     coalesce_requests,
+    register_wire_function,
     run_batched,
 )
 from repro.serve import service as service_module
@@ -257,6 +260,120 @@ class TestEvaluationService:
             assert jobs[0].result_value == 0
             with pytest.raises(KeyError):
                 service.job(jobs[0].id)
+
+
+class TestSweepJobs:
+    """Server-side sweep planning through the in-process service."""
+
+    def test_submit_sweep_plans_batches_and_caches(self):
+        trace = make_trace(9)
+        cache = ReportCache()
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.1, 0.5]},
+            trace=trace,
+            baseline=dense_baseline_config(),
+            name="local-grid",
+        )
+        with EvaluationService(cache=cache, max_workers=2) as service:
+            first = service.submit_sweep(spec).result(timeout=120)
+            second = service.submit_sweep(spec).result(timeout=120)
+        assert first.params == [{"sparsity_threshold": 0.1}, {"sparsity_threshold": 0.5}]
+        for params, report in zip(first.params, first.reports):
+            expected = AcceleratorSimulator(sqdm_config(**params)).run_trace(trace)
+            assert report.total_cycles == expected.total_cycles
+        baseline = AcceleratorSimulator(dense_baseline_config()).run_trace(trace)
+        assert first.baseline.total_cycles == baseline.total_cycles
+        # the identical second sweep was served entirely from the cache
+        assert cache.stats.misses == 3
+        for again, once in zip(second.reports, first.reports):
+            assert again.total_cycles == once.total_cycles
+
+    def test_sweep_without_baseline(self):
+        spec = SweepJobSpec(
+            base=sqdm_config(), grid={"num_spe": [1, 2]}, trace=make_trace(10)
+        )
+        with EvaluationService(cache=ReportCache(), max_workers=2) as service:
+            outcome = service.submit_sweep(spec).result(timeout=120)
+        assert outcome.baseline is None and len(outcome.reports) == 2
+
+    def test_invalid_grid_rejected_at_submit(self):
+        with pytest.raises(ValueError, match="sweepable"):
+            SweepJobSpec(base=sqdm_config(), grid={"warp_factor": [9]}, trace=make_trace(1))
+        with EvaluationService(cache=ReportCache(), max_workers=1) as service:
+            # a value the config itself rejects also fails at submission
+            spec = SweepJobSpec(
+                base=sqdm_config(), grid={"sparsity_threshold": [1.5]}, trace=make_trace(1)
+            )
+            with pytest.raises(ValueError, match="sparsity_threshold"):
+                service.submit_sweep(spec)
+            assert service.jobs() == []
+
+    def test_sweep_failure_marks_job_failed(self, monkeypatch):
+        def explode(self, traces):
+            raise RuntimeError("sim exploded")
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", explode)
+        spec = SweepJobSpec(
+            base=sqdm_config(), grid={"sparsity_threshold": [0.2]}, trace=make_trace(3)
+        )
+        with EvaluationService(cache=ReportCache(), max_workers=1) as service:
+            job = service.submit_sweep(spec)
+            assert job.wait(30)
+            assert job.status is JobStatus.FAILED
+            with pytest.raises(JobFailedError, match="sim exploded"):
+                job.result()
+
+    def test_cancel_queued_sweep_never_simulates(self, monkeypatch):
+        """A sweep cancelled while still queued is skipped at dispatch."""
+        drained, proceed = threading.Event(), threading.Event()
+        original_coalesce = service_module.coalesce_requests
+
+        def gated(requests):
+            if requests:
+                drained.set()
+                proceed.wait(30)
+            return original_coalesce(requests)
+
+        monkeypatch.setattr(service_module, "coalesce_requests", gated)
+
+        simulated: list[int] = []
+        original_run = AcceleratorSimulator.run_traces
+
+        def counting(self, traces):
+            simulated.append(len(traces))
+            return original_run(self, traces)
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+
+        with EvaluationService(cache=ReportCache(), max_workers=2) as service:
+            blocker = service.submit_simulation(sqdm_config(), make_trace(1))
+            assert drained.wait(30), "scheduler never drained the queue"
+            sweep_job = service.submit_sweep(
+                SweepJobSpec(
+                    base=sqdm_config(),
+                    grid={"sparsity_threshold": [0.2, 0.4]},
+                    trace=make_trace(2),
+                )
+            )
+            assert service.cancel(sweep_job.id) is True
+            proceed.set()
+            assert blocker.result(timeout=60) is not None
+            assert sweep_job.wait(30)
+            assert sweep_job.status is JobStatus.CANCELLED
+        assert simulated == [1], "cancelled sweep was simulated anyway"
+
+    def test_submit_spec_dispatches_by_type(self):
+        register_wire_function("serve-test-double", _module_level_square)
+        with EvaluationService(cache=ReportCache(), max_workers=1) as service:
+            job = service.submit_spec(
+                CallableJobSpec(function="serve-test-double", args=(6,))
+            )
+            assert job.result(timeout=30) == 36
+            with pytest.raises(ValueError, match="unknown wire function"):
+                service.submit_spec(CallableJobSpec(function="nope"))
+            with pytest.raises(TypeError, match="not a job spec"):
+                service.submit_spec({"kind": "dict"})
 
 
 def _module_level_wait(event):
