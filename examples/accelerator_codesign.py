@@ -8,8 +8,11 @@ meet specific latency and power requirements" (Sec. IV-D).
 
 Design-point evaluations are independent, so the sparsity and PE-scaling
 studies fan out through the declarative sweep runner
-(:func:`repro.core.experiments.run_sweep`); the organization study goes
-through the batching scheduler (:func:`repro.serve.run_batched`), which
+(:func:`repro.core.experiments.run_sweep`) over one shared
+:class:`~repro.core.execution.PoolExecutor` opened as a context manager —
+the same sweeps would run on a :class:`~repro.core.execution.ServiceExecutor`
+or a remote endpoint by swapping that one object.  The organization study
+goes through the batching scheduler (:func:`repro.serve.run_batched`), which
 coalesces the two dense-baseline traces into one cross-trace batched pass
 and caches every report.
 
@@ -30,6 +33,7 @@ from repro.accelerator import (
     sqdm_config,
 )
 from repro.analysis.tables import format_percentage, format_speedup, format_table
+from repro.core.execution import PoolExecutor
 from repro.core.experiments import SweepSpec, run_sweep
 from repro.serve import SimulationRequest, run_batched
 
@@ -88,26 +92,32 @@ def main() -> None:
             format_percentage(1 - hetero.total_energy.total_pj / dense.total_energy.total_pj),
         ]
 
-    sweep = run_sweep(
-        sparsity_point,
-        SweepSpec(name="sparsity-sensitivity", grid={"mean_sparsity": [0.3, 0.5, 0.65, 0.8]}),
-    )
-    print(format_table(["Avg activation sparsity", "Speed-up vs dense", "Energy saving"], sweep.values()))
+    # One thread pool, context-managed, serves both studies below.
+    pool = PoolExecutor("thread")
 
-    print("\n== Scaling the PE array ==")
-
-    def scaling_point(multipliers: int) -> list:
-        config = AcceleratorConfig(
-            name=f"sqdm-{multipliers}", num_dpe=1, num_spe=1, pe=PEConfig(multipliers=multipliers)
+    with pool:
+        sweep = run_sweep(
+            sparsity_point,
+            SweepSpec(name="sparsity-sensitivity", grid={"mean_sparsity": [0.3, 0.5, 0.65, 0.8]}),
+            executor=pool,
         )
-        report = AcceleratorSimulator(config).run_trace(trace)
-        return [multipliers, report.total_time_ms, f"{report.total_energy.total_uj:.1f}"]
+        print(format_table(["Avg activation sparsity", "Speed-up vs dense", "Energy saving"], sweep.values()))
 
-    sweep = run_sweep(
-        scaling_point,
-        SweepSpec(name="pe-scaling", grid={"multipliers": [64, 128, 256, 512]}),
-    )
-    print(format_table(["Multipliers per PE", "Latency (ms)", "Energy (uJ)"], sweep.values()))
+        print("\n== Scaling the PE array ==")
+
+        def scaling_point(multipliers: int) -> list:
+            config = AcceleratorConfig(
+                name=f"sqdm-{multipliers}", num_dpe=1, num_spe=1, pe=PEConfig(multipliers=multipliers)
+            )
+            report = AcceleratorSimulator(config).run_trace(trace)
+            return [multipliers, report.total_time_ms, f"{report.total_energy.total_uj:.1f}"]
+
+        sweep = run_sweep(
+            scaling_point,
+            SweepSpec(name="pe-scaling", grid={"multipliers": [64, 128, 256, 512]}),
+            executor=pool,
+        )
+        print(format_table(["Multipliers per PE", "Latency (ms)", "Energy (uJ)"], sweep.values()))
     print("\n(The architecture 'is scalable to meet specific latency and power requirements' — Sec. IV-D.)")
 
 

@@ -1,11 +1,13 @@
 """Fleet evaluation: job submission, coalesced batching and persistent artifacts.
 
-Demonstrates the `repro.serve` subsystem end to end, the workflow a fleet
+Demonstrates the unified execution API end to end, the workflow a fleet
 operator uses to serve evaluation traffic:
 
-1. submit a burst of simulation jobs for design points sharing a hardware
+1. open a :class:`~repro.core.execution.ServiceExecutor` (the evaluation
+   service behind the ``Executor`` protocol) as a context manager and submit
+   a burst of typed simulation specs for design points sharing a hardware
    configuration — the service coalesces them into cross-trace batched
-   NumPy passes;
+   NumPy passes, and every submission comes back as a uniform ``JobHandle``;
 2. re-submit the same traffic against a fresh in-memory cache backed by the
    same artifact directory — everything is served from disk with zero
    re-simulation (what a second worker process or a re-started job sees).
@@ -28,8 +30,9 @@ import tempfile
 from repro.accelerator import dense_baseline_config, random_workload, sqdm_config
 from repro.analysis.tables import format_speedup, format_table
 from repro.core.artifacts import ArtifactStore
+from repro.core.execution import ServiceExecutor
 from repro.core.report_cache import ReportCache
-from repro.serve import EvaluationService
+from repro.serve import SimulateJobSpec
 
 
 def build_fleet_traces(num_traces: int = 12, steps: int = 5, layers: int = 6):
@@ -52,15 +55,19 @@ def build_fleet_traces(num_traces: int = 12, steps: int = 5, layers: int = 6):
     ]
 
 
-def submit_fleet(service: EvaluationService, traces) -> list:
-    """One sweep's worth of traffic: every trace on SQ-DM and on the baseline."""
-    jobs = []
+def submit_fleet(executor: ServiceExecutor, traces) -> list:
+    """One sweep's worth of traffic: every trace on SQ-DM and on the baseline.
+
+    Specs in, ``JobHandle`` futures out — the same two lines would drive a
+    ``RemoteExecutor`` pointed at a ``repro serve`` endpoint.
+    """
+    specs, labels = [], []
     for index, trace in enumerate(traces):
-        jobs.append(service.submit_simulation(sqdm_config(), trace, label=f"sqdm[{index}]"))
-        jobs.append(
-            service.submit_simulation(dense_baseline_config(), trace, label=f"dense[{index}]")
-        )
-    return jobs
+        specs.append(SimulateJobSpec(config=sqdm_config(), trace=trace))
+        labels.append(f"sqdm[{index}]")
+        specs.append(SimulateJobSpec(config=dense_baseline_config(), trace=trace))
+        labels.append(f"dense[{index}]")
+    return executor.map(specs, labels=labels)
 
 
 def main() -> None:
@@ -71,9 +78,9 @@ def main() -> None:
 
         print("== First process: cold cache, batched simulation ==")
         cache = ReportCache(store=store)
-        with EvaluationService(cache=cache) as service:
-            jobs = submit_fleet(service, traces)
-            reports = [job.result() for job in jobs]
+        with ServiceExecutor(cache=cache) as executor:
+            handles = submit_fleet(executor, traces)
+            reports = [handle.result() for handle in handles]
         rows = [
             [f"trace {i}",
              format_speedup(reports[2 * i + 1].total_cycles / reports[2 * i].total_cycles)]
@@ -87,9 +94,9 @@ def main() -> None:
 
         print("== Second process: fresh memory cache over the same artifact dir ==")
         rerun_cache = ReportCache(store=ArtifactStore(root))
-        with EvaluationService(cache=rerun_cache) as service:
-            jobs = submit_fleet(service, traces)
-            rerun_reports = [job.result() for job in jobs]
+        with ServiceExecutor(cache=rerun_cache) as executor:
+            handles = submit_fleet(executor, traces)
+            rerun_reports = [handle.result() for handle in handles]
         identical = all(
             a.total_cycles == b.total_cycles for a, b in zip(reports, rerun_reports)
         )

@@ -6,13 +6,19 @@ shape of a fleet evaluation service:
 1. start an :class:`EvaluationHTTPServer` over an artifact directory (in a
    real deployment this is ``repro serve --port 8035 --artifact-dir ...`` on
    a beefy machine);
-2. run two concurrent clients submitting the *same* sweep — the server's
-   single-flight scheduler coalesces their identical requests, so each
-   unique (config, trace) pair is simulated exactly once;
+2. run two concurrent clients submitting the *same* sweep through
+   :class:`~repro.core.execution.RemoteExecutor` (the unified execution API
+   over HTTP) — the server's single-flight scheduler coalesces their
+   identical requests, so each unique (config, trace) pair is simulated
+   exactly once;
 3. restart the server over the same artifact directory and re-run the
    sweep — everything is served from disk with zero re-simulation;
 4. submit one *grid description* (:class:`~repro.serve.specs.SweepJobSpec`)
    and let the server plan, coalesce and batch the design points.
+
+The client code is executor-agnostic: swap ``RemoteExecutor(endpoint)`` for
+a ``ServiceExecutor`` (or ``InlineExecutor``) and the same specs, handles
+and results flow through an in-process backend instead.
 
 Everything crosses the wire as versioned, schema-tagged JSON — no pickles —
 so any HTTP client (curl included) could drive the same flows.
@@ -35,10 +41,11 @@ import threading
 
 from repro.accelerator import dense_baseline_config, random_workload, sqdm_config
 from repro.core.artifacts import ArtifactStore
+from repro.core.execution import RemoteExecutor
 from repro.core.report_cache import ReportCache
 from repro.serve import (
     EvaluationService,
-    RemoteEvaluationClient,
+    SimulateJobSpec,
     SweepJobSpec,
     start_http_server,
 )
@@ -65,14 +72,15 @@ def build_traces(num_traces: int = 6, steps: int = 4, layers: int = 4):
 
 def client_sweep(name: str, endpoint: str, traces) -> list:
     """One remote client's traffic: every trace on SQ-DM and the dense baseline."""
-    client = RemoteEvaluationClient(endpoint)
-    jobs = []
+    specs, labels = [], []
     for index, trace in enumerate(traces):
-        jobs.append(client.submit_simulation(sqdm_config(), trace, label=f"{name}-sqdm[{index}]"))
-        jobs.append(
-            client.submit_simulation(dense_baseline_config(), trace, label=f"{name}-dense[{index}]")
-        )
-    return [job.result(timeout=600) for job in jobs]
+        specs.append(SimulateJobSpec(config=sqdm_config(), trace=trace))
+        labels.append(f"{name}-sqdm[{index}]")
+        specs.append(SimulateJobSpec(config=dense_baseline_config(), trace=trace))
+        labels.append(f"{name}-dense[{index}]")
+    with RemoteExecutor(endpoint=endpoint) as executor:
+        handles = executor.map(specs, labels=labels)
+        return [handle.result(timeout=600) for handle in handles]
 
 
 def main() -> None:
@@ -117,7 +125,6 @@ def main() -> None:
         )
 
         print("== Server-side sweep planning: one grid spec, N design points ==")
-        client = RemoteEvaluationClient(server.endpoint)
         spec = SweepJobSpec(
             base=sqdm_config(),
             grid={"sparsity_threshold": [0.1, 0.3, 0.5]},
@@ -125,7 +132,8 @@ def main() -> None:
             baseline=dense_baseline_config(),
             name="threshold-grid",
         )
-        outcome = client.submit_sweep(spec).result(timeout=600)
+        with RemoteExecutor(endpoint=server.endpoint) as executor:
+            outcome = executor.submit(spec).result(timeout=600)
         for params, report in zip(outcome.params, outcome.reports):
             speedup = outcome.baseline.total_cycles / report.total_cycles
             print(f"  {params}: {report.total_time_ms:.3f} ms ({speedup:.2f}x vs dense)")

@@ -69,6 +69,8 @@ def block_sensitivity_sweep(
             "block_sensitivity_sweep supports executor='thread', 'serial' or "
             f"'service', got {executor!r}"
         )
+    from ..core.execution import resolve_executor
+
     model = pipeline.workload.unet
     infos = model.block_infos()
 
@@ -87,12 +89,18 @@ def block_sensitivity_sweep(
             fid_delta=evaluation.fid - reference.fid,
         )
 
-    sweep = run_sweep(
-        evaluate_block,
-        SweepSpec(name="fig3-block-sensitivity", grid={"block_name": [i.name for i in infos]}),
-        executor=executor,
-        max_workers=max_workers,
-    )
+    # Resolve the string to an executor instance here (the run_sweep string
+    # path is a deprecated shim); "serial" maps to the inline backend.
+    with resolve_executor(
+        "inline" if executor == "serial" else executor, max_workers=max_workers
+    ) as runner:
+        sweep = run_sweep(
+            evaluate_block,
+            SweepSpec(
+                name="fig3-block-sensitivity", grid={"block_name": [i.name for i in infos]}
+            ),
+            executor=runner,
+        )
     return SensitivityReport(
         workload=pipeline.workload.name, reference_fid=reference.fid, blocks=sweep.values()
     )

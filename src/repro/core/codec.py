@@ -411,10 +411,14 @@ def register_dataclass(
 
     Every public field is encoded with the generic value rules (nested
     registered dataclasses become nested envelopes, arrays become
-    ``$ndarray`` references).  Decoding is strict: unknown field names are
-    rejected, so payloads from a *newer* schema revision fail loudly instead
-    of being silently truncated.  ``decode_hook`` may normalize the decoded
-    kwargs (e.g. coerce key types) before construction.
+    ``$ndarray`` references).  Decoding follows the skew contract large
+    heterogeneous fleets need: field names this revision does not define are
+    *tolerated and ignored* — a newer writer of the same schema version may
+    add minor fields without breaking older readers — while an unknown
+    ``$schema`` *version* is still rejected up front (with the known
+    alternatives) by :func:`schema_for`, because a version bump signals an
+    incompatible layout, not an addition.  ``decode_hook`` may normalize the
+    decoded kwargs (e.g. coerce key types) before construction.
     """
     excluded = set(exclude)
     names = [
@@ -428,13 +432,10 @@ def register_dataclass(
         return {field: ctx.value(getattr(obj, field)) for field in names}
 
     def dec(doc: Mapping[str, Any], ctx: Decoder) -> Any:
-        unknown = set(doc) - known
-        if unknown:
-            raise SchemaError(
-                f"schema {name}@{version} does not define field(s) {sorted(unknown)}; "
-                f"known fields: {sorted(known)}"
-            )
-        kwargs = {key: ctx.value(item) for key, item in doc.items()}
+        # Unknown minor fields (a newer same-version writer) are dropped, not
+        # fatal; decoding only what this revision defines keeps old readers
+        # working across rolling upgrades.
+        kwargs = {key: ctx.value(item) for key, item in doc.items() if key in known}
         if decode_hook is not None:
             kwargs = decode_hook(kwargs)
         return cls(**kwargs)

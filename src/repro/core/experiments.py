@@ -10,43 +10,55 @@ module gives that shape a first-class API:
     result = run_sweep(lambda multipliers: simulate(multipliers), spec)
     result.values()  # in grid order, regardless of executor
 
-Execution fans out over :mod:`concurrent.futures` (``"thread"`` by default —
-the NumPy-heavy evaluation functions release the GIL for their array work —
-or ``"process"`` / ``"serial"``).  Results always come back in deterministic
-grid order; failures either propagate (``on_error="raise"``) or are captured
-per-case (``on_error="capture"``) so one bad design point cannot sink a
-thousand-point sweep.
+Execution goes through the unified execution API
+(:mod:`repro.core.execution`): pass any :class:`~repro.core.execution.Executor`
+instance — ``InlineExecutor``, ``PoolExecutor`` (thread/process),
+``ServiceExecutor``, ``RemoteExecutor``, or a third-party backend registered
+with :func:`~repro.core.execution.register_executor` — and the sweep's grid
+points are submitted as jobs on it.  Omitting ``executor`` fans out over a
+thread pool (the NumPy-heavy evaluation functions release the GIL for their
+array work).  Legacy string names (``"thread"`` / ``"process"`` /
+``"serial"`` / ``"service"`` / ``"remote"``) still resolve through the
+executor registry but emit a :class:`DeprecationWarning`.  Results always
+come back in deterministic grid order; failures either propagate
+(``on_error="raise"``) or are captured per-case (``on_error="capture"``) so
+one bad design point cannot sink a thousand-point sweep.
 """
 
 from __future__ import annotations
 
 import itertools
-import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from .execution import (
+    Executor,
+    InlineExecutor,
+    JobFailedError,
+    LocalCallSpec,
+    PoolExecutor,
+    ensure_picklable,  # noqa: F401 - canonical home moved; re-exported for compat
+    executor_names,
+    resolve_executor,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only; serve imports us at runtime
     from ..serve.client import RemoteEvaluationClient
     from ..serve.service import EvaluationService
 
-EXECUTORS = ("thread", "process", "serial", "service", "remote")
+#: Legacy string names accepted (deprecated) by :func:`run_sweep`.
+EXECUTORS = ("thread", "process", "serial", "service", "remote", "inline")
 
-
-def ensure_picklable(obj: Any, error_message: str) -> None:
-    """Fail fast (and intelligibly) on payloads that cannot cross processes.
-
-    ``ProcessPoolExecutor`` pickles work per submission; for lambdas,
-    locally-defined functions or closures over live models that fails deep
-    inside the pool with a bare ``PicklingError`` traceback.  Checking at the
-    submission boundary turns it into an actionable error before any worker
-    spawns — both the process sweep executor and the evaluation service's
-    sampling jobs route through this guard.
-    """
-    try:
-        pickle.dumps(obj)
-    except Exception as exc:
-        raise ValueError(f"{error_message} ({exc})") from exc
+#: What the deprecation warning suggests per legacy name.
+_EXECUTOR_REPLACEMENTS = {
+    "thread": 'PoolExecutor("thread")',
+    "process": 'PoolExecutor("process")',
+    "serial": "InlineExecutor()",
+    "inline": "InlineExecutor()",
+    "service": "ServiceExecutor(...)",
+    "remote": "RemoteExecutor(endpoint=...)",
+}
 
 
 def _require_picklable_case_fn(fn: Callable[..., Any]) -> None:
@@ -145,10 +157,10 @@ class SweepResult:
 
 
 def run_sweep(
-    fn: Callable[..., Any],
+    fn: Callable[..., Any] | str,
     spec: SweepSpec | Mapping[str, Sequence[Any]],
     *,
-    executor: str = "thread",
+    executor: "Executor | str | None" = None,
     max_workers: int | None = None,
     on_error: str = "raise",
     service: "EvaluationService | RemoteEvaluationClient | None" = None,
@@ -160,133 +172,128 @@ def run_sweep(
     ----------
     fn:
         Evaluation function taking the grid's parameters as keyword
-        arguments.  With ``executor="process"`` it must be picklable (a
-        module-level function); with ``executor="remote"`` it must be a
-        registered wire-function (or its name as a string), since remote
-        jobs cross the wire as typed JSON specs, never as code.  Both are
-        verified up front.
+        arguments, or a registered wire-function *name*.  A process-pool
+        executor needs a picklable (module-level) function; a
+        :class:`~repro.core.execution.RemoteExecutor` needs a registered
+        wire function (or its name), since remote jobs cross the wire as
+        typed JSON specs, never as code.
     spec:
         A :class:`SweepSpec`, or a bare ``{param: values}`` mapping which is
         wrapped into an anonymous spec.
     executor:
-        ``"thread"`` (default), ``"process"``, ``"serial"``, ``"service"`` or
-        ``"remote"``.  ``"service"`` submits every grid point as a job to an
-        :class:`~repro.serve.service.EvaluationService`, so sweep cases share
-        the service's worker pools, report cache and coalescing scheduler
-        with any other traffic it is serving.  ``"remote"`` does the same
-        against a ``repro serve`` HTTP endpoint through a
-        :class:`~repro.serve.client.RemoteEvaluationClient`, fanning the
-        sweep out to a server process shared by many clients.
+        Any :class:`~repro.core.execution.Executor` instance (left open for
+        the caller to close), or None for an ephemeral thread pool sized by
+        ``max_workers``.  Legacy string names — ``"thread"``, ``"process"``,
+        ``"serial"``/``"inline"``, ``"service"``, ``"remote"`` — are
+        **deprecated**: they still resolve through the executor registry
+        (:func:`~repro.core.execution.resolve_executor`) but emit a
+        :class:`DeprecationWarning` naming the replacement.
     max_workers:
-        Worker count for the parallel executors (library default if None).
+        Worker count when this call builds its own pooled executor (library
+        default if None); ignored when an executor instance is given.
     on_error:
         ``"raise"`` propagates the first failure; ``"capture"`` records the
         exception on the affected :class:`SweepCaseResult` and continues.
         Remote failures carry the server-side error message, not the
         original exception type.
     service:
-        The evaluation service for ``executor="service"`` (an ephemeral one
-        is created — and shut down — when omitted), or an existing
+        Deprecated-path plumbing: the evaluation service for
+        ``executor="service"`` (an ephemeral one is created — and shut
+        down — when omitted), or an existing
         :class:`RemoteEvaluationClient` for ``executor="remote"``.
     endpoint:
-        Server base URL for ``executor="remote"`` (e.g.
-        ``"http://127.0.0.1:8035"``); ignored when ``service`` is given.
+        Deprecated-path plumbing: server base URL for ``executor="remote"``
+        (e.g. ``"http://127.0.0.1:8035"``); ignored when ``service`` is
+        given.
     """
     if not isinstance(spec, SweepSpec):
         spec = SweepSpec(name="sweep", grid=dict(spec))
-    if executor not in EXECUTORS:
-        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if on_error not in ("raise", "capture"):
         raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
-    if executor == "process":
-        _require_picklable_case_fn(fn)
-    if executor == "remote":
-        _require_wire_case_fn(fn)
-    if executor == "remote" and service is None and endpoint is None:
-        raise ValueError("executor='remote' needs endpoint='http://host:port' (or service=client)")
+
+    owned = True
+    if executor is None:
+        executor = PoolExecutor("thread", max_workers=max_workers)
+    elif isinstance(executor, str):
+        executor = _resolve_legacy_executor(executor, fn, max_workers, service, endpoint)
+    elif isinstance(executor, Executor):
+        owned = False
+    else:
+        # Catch the likely migration slip (passing an EvaluationService or a
+        # client here) before it surfaces as a bare AttributeError deep in map().
+        raise TypeError(
+            f"executor must be a repro.core.execution.Executor instance, one of the "
+            f"registered names {sorted(executor_names())}, or None for the thread-pool "
+            f"default — got {type(executor).__name__}. Wrap a live service/client via "
+            "service.as_executor() / client.as_executor()."
+        )
 
     cases = [SweepCaseResult(index=i, params=params) for i, params in enumerate(spec.cases())]
-
-    def evaluate(case: SweepCaseResult) -> SweepCaseResult:
-        try:
-            case.value = fn(**case.params)
-        except Exception as exc:  # noqa: BLE001 - captured or re-raised below
-            if on_error == "raise":
-                raise
-            case.error = exc
-        return case
-
-    if executor in ("service", "remote"):
-        _run_sweep_on_service(fn, spec, cases, on_error, service, max_workers, executor, endpoint)
-    elif executor == "serial" or len(cases) <= 1:
-        for case in cases:
-            evaluate(case)
-    else:
-        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=max_workers) as pool:
-            if executor == "process":
-                # Processes cannot mutate our local case objects; map the raw
-                # params and graft values/errors back in order.
-                futures = [pool.submit(fn, **case.params) for case in cases]
-                for case, future in zip(cases, futures):
-                    try:
-                        case.value = future.result()
-                    except Exception as exc:  # noqa: BLE001
-                        if on_error == "raise":
-                            raise
-                        case.error = exc
+    call_specs = [LocalCallSpec(fn=fn, kwargs=case.params) for case in cases]
+    labels = [f"{spec.name}[{case.index}]" for case in cases]
+    try:
+        if isinstance(executor, InlineExecutor) and on_error == "raise":
+            # Inline execution is synchronous, so submit case by case: the
+            # first failure stops the sweep without running the rest of the
+            # grid (the historical serial-executor contract).
+            handles = []
+            for call_spec, label in zip(call_specs, labels):
+                handle = executor.submit(call_spec, label)
+                if handle.error is not None:
+                    raise handle.error
+                handles.append(handle)
+        else:
+            handles = executor.map(call_specs, labels=labels)
+        for case, handle in zip(cases, handles):
+            handle.wait()
+            if handle.ok:
+                case.value = handle.result()
             else:
-                # map() preserves submission order, so results land in grid order.
-                cases = list(pool.map(evaluate, cases))
+                error = handle.error or JobFailedError(f"job {handle.id} {handle.status.value}")
+                if on_error == "raise":
+                    raise error
+                case.error = error
+    finally:
+        if owned:
+            executor.close()
 
     return SweepResult(spec=spec, cases=cases)
 
 
-def _run_sweep_on_service(
-    fn: Callable[..., Any],
-    spec: SweepSpec,
-    cases: list[SweepCaseResult],
-    on_error: str,
-    service: "EvaluationService | RemoteEvaluationClient | None",
+def _resolve_legacy_executor(
+    name: str,
+    fn: Callable[..., Any] | str,
     max_workers: int | None,
-    executor: str = "service",
-    endpoint: str | None = None,
-) -> None:
-    """Fan a sweep's cases out as jobs on an evaluation service (local or remote).
-
-    Works for both executors because :class:`RemoteEvaluationClient` mirrors
-    the service's submission surface and its jobs mirror ``Job``'s read side.
-    """
-    # Deferred imports: core must stay importable without the serve package.
-    owned = service is None
-    if service is not None:
-        active: Any = service
-    elif executor == "remote":
-        from ..serve.client import RemoteEvaluationClient
-
-        active = RemoteEvaluationClient(endpoint)
-    else:
-        from ..serve.service import EvaluationService
-
-        active = EvaluationService(max_workers=max_workers)
-    try:
-        jobs = [
-            active.submit_callable(
-                fn, kwargs=case.params, label=f"{spec.name}[{case.index}]"
+    service: Any,
+    endpoint: str | None,
+) -> Executor:
+    """The deprecated string-dispatch shim: registry resolution + fail-fast guards."""
+    if name not in executor_names():
+        raise ValueError(
+            f"executor must be an Executor instance or one of {sorted(executor_names())}, "
+            f"got {name!r}"
+        )
+    replacement = _EXECUTOR_REPLACEMENTS.get(name, f"resolve_executor({name!r})")
+    warnings.warn(
+        f"run_sweep(executor={name!r}) is deprecated; pass an Executor instance "
+        f"instead, e.g. repro.core.execution.{replacement} "
+        f"(or resolve_executor({name!r}, ...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    # Fail fast with the long-standing actionable messages before any pool
+    # or connection is created.
+    if name == "process":
+        _require_picklable_case_fn(fn)
+    if name == "remote":
+        _require_wire_case_fn(fn)
+        if service is None and endpoint is None:
+            raise ValueError(
+                "executor='remote' needs endpoint='http://host:port' (or service=client)"
             )
-            for case in cases
-        ]
-        for case, job in zip(cases, jobs):
-            job.wait()
-            if job.ok:
-                case.value = job.result_value
-            else:
-                if on_error == "raise":
-                    raise job.error
-                case.error = job.error
-    finally:
-        if owned:
-            active.close()
+    return resolve_executor(
+        name, max_workers=max_workers, service=service, endpoint=endpoint
+    )
 
 
 def sweep_table(

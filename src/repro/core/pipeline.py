@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..accelerator.config import AcceleratorConfig, dense_baseline_config, sqdm_config
 from ..accelerator.simulator import SimulationReport, relative_saving, safe_speedup
@@ -35,6 +36,9 @@ from .costs import CostSummary, cost_summary
 from .policy import QuantizationPolicy, mixed_precision_policy, table1_policy
 from .report_cache import ReportCache
 from .sparsity import TemporalSparsityTrace, collect_sparsity_trace, trace_to_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .execution import Executor
 
 #: Artifact-store namespaces used by the pipeline.
 FID_STATS_ARTIFACT_KIND = "fid_stats"
@@ -301,6 +305,7 @@ class SQDMPipeline:
         trace: TemporalSparsityTrace | None = None,
         sqdm: AcceleratorConfig | None = None,
         baseline: AcceleratorConfig | None = None,
+        executor: "Executor | None" = None,
     ) -> HardwareEvaluation:
         """Run the Fig. 12 comparison for this workload.
 
@@ -309,14 +314,20 @@ class SQDMPipeline:
         dense 2-DPE baseline; the same layer geometry at FP16 on the dense
         baseline provides the total-speed-up reference.
 
-        The three simulations go through the batching scheduler
-        (:func:`repro.serve.scheduler.run_batched`) against the two-tier
-        report cache: sweeps that vary only one configuration re-use the
-        shared FP16 / dense-baseline runs (from memory or the artifact
-        store), and the cache misses that do simulate are coalesced — the two
-        dense-baseline traces share one cross-trace batched pass.
+        The three simulations are submitted as typed specs through the
+        unified execution API.  The default
+        :class:`~repro.core.execution.InlineExecutor` batches them through
+        one coalesced pass against the two-tier report cache: sweeps that
+        vary only one configuration re-use the shared FP16 / dense-baseline
+        runs (from memory or the artifact store), and the cache misses that
+        do simulate share cross-trace batched passes.  Pass any other
+        :class:`~repro.core.execution.Executor` (a ``ServiceExecutor``, a
+        ``RemoteExecutor``, ...) to route the same three jobs through a
+        shared service or a remote server instead; the caller keeps
+        ownership of a passed-in executor.
         """
-        from ..serve.scheduler import SimulationRequest, run_batched
+        from ..serve.specs import SimulateJobSpec
+        from .execution import InlineExecutor
 
         model = self._model_for(relu=True)
         policy = mixed_precision_policy(model, relu=True)
@@ -328,14 +339,21 @@ class SQDMPipeline:
 
         sqdm = sqdm or sqdm_config()
         baseline = baseline or dense_baseline_config()
-        sqdm_report, dense_report, fp16_report = run_batched(
+        if executor is None:
+            executor = InlineExecutor(cache=self.report_cache)
+        handles = executor.map(
             [
-                SimulationRequest(sqdm, quant_trace),
-                SimulationRequest(baseline, quant_trace),
-                SimulationRequest(baseline, fp16_trace),
+                SimulateJobSpec(config=sqdm, trace=quant_trace),
+                SimulateJobSpec(config=baseline, trace=quant_trace),
+                SimulateJobSpec(config=baseline, trace=fp16_trace),
             ],
-            cache=self.report_cache,
+            labels=[
+                f"fig12:{self.workload.name}:sqdm",
+                f"fig12:{self.workload.name}:dense",
+                f"fig12:{self.workload.name}:fp16",
+            ],
         )
+        sqdm_report, dense_report, fp16_report = [handle.result() for handle in handles]
         return HardwareEvaluation(
             workload=self.workload.name,
             sqdm_report=sqdm_report,

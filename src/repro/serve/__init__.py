@@ -32,13 +32,30 @@ traffic*, not as one script.  This package provides the service layer:
     and artifact store.
 ``repro.serve.client``
     :class:`RemoteEvaluationClient` — urllib-based client mirroring the
-    service surface, with retry/backoff and polling job handles.
+    service surface, with jittered retry/backoff and polling job handles.
+
+Both the service and the client also speak the unified execution API of
+:mod:`repro.core.execution` (re-exported here): ``service.as_executor()`` /
+``client.as_executor()`` — or ``ServiceExecutor`` / ``RemoteExecutor``
+directly — give the uniform ``submit(spec) -> JobHandle`` surface shared
+with the inline and pool backends.
 ``repro.serve.cli``
     The ``repro`` console script: ``repro sweep``, ``repro evaluate``,
     ``repro cache``, ``repro serve``.
 """
 
 from . import workers as _workers  # noqa: F401 - registers the wire functions
+from ..core.execution import (
+    Executor,
+    InlineExecutor,
+    JobHandle,
+    LocalCallSpec,
+    PoolExecutor,
+    RemoteExecutor,
+    ServiceExecutor,
+    register_executor,
+    resolve_executor,
+)
 from .client import RemoteEvaluationClient, RemoteJob, RemoteServiceError
 from .http import EvaluationHTTPServer, start_http_server
 from .jobs import Job, JobFailedError, JobKind, JobStatus
@@ -57,20 +74,29 @@ __all__ = [
     "CallableJobSpec",
     "EvaluationHTTPServer",
     "EvaluationService",
+    "Executor",
+    "InlineExecutor",
     "Job",
     "JobFailedError",
+    "JobHandle",
     "JobKind",
     "JobStatus",
+    "LocalCallSpec",
+    "PoolExecutor",
     "QualityJobSpec",
     "RemoteEvaluationClient",
+    "RemoteExecutor",
     "RemoteJob",
     "RemoteServiceError",
+    "ServiceExecutor",
     "SimulateJobSpec",
     "SimulationRequest",
     "SweepJobResult",
     "SweepJobSpec",
     "coalesce_requests",
+    "register_executor",
     "register_wire_function",
+    "resolve_executor",
     "run_batched",
     "start_http_server",
 ]

@@ -13,7 +13,9 @@ reports instead of recomputing them:
     baseline.  With ``--endpoint`` the same spec goes to a remote
     ``repro serve`` process as plain JSON, where grids from any number of
     clients coalesce through one single-flight scheduler and share one
-    artifact store.
+    artifact store.  ``--executor`` picks the backend explicitly (any name
+    from the :mod:`repro.core.execution` registry — ``inline``, ``thread``,
+    ``process``, ``service``, ``remote``, or a registered third-party one).
 ``repro evaluate``
     The Fig. 12 hardware comparison for one workload, optionally with
     declarative quality (FID) specs fanned out to the process pool.
@@ -44,6 +46,7 @@ from ..core.artifacts import (
     ArtifactStore,
     artifact_store_at,
 )
+from ..core.execution import RemoteExecutor, executor_names, resolve_executor
 from ..core.pipeline import PipelineConfig, SQDMPipeline
 from ..core.policy import mixed_precision_policy
 from ..core.report_cache import ReportCache
@@ -190,43 +193,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     store = _resolve_store(args)
     cache = ReportCache(store=store)
-    pipeline = _build_pipeline(args, store, cache)
 
-    grid = dict(args.params or [("sparsity_threshold", [0.1, 0.3, 0.5])])
-
-    policy = mixed_precision_policy(pipeline.relu_unet(), relu=True)
-    trace = pipeline.collect_trace(relu=True)
-    quant_trace = trace_to_workloads(trace, policy)
-
-    # The whole grid is one declarative sweep spec: the service (or the
-    # remote server) plans it, coalesces the cases with any other traffic,
-    # and returns per-case reports plus the dense baseline.  The remote
-    # client mirrors the service's submission surface, so one code path
-    # covers both; over HTTP the spec travels as plain, versioned JSON.
-    spec = SweepJobSpec(
-        base=sqdm_config(),
-        grid={name: list(values) for name, values in grid.items()},
-        trace=quant_trace,
-        baseline=dense_baseline_config(),
-        backend=args.backend,
-        name=f"sweep-{args.workload}",
-    )
+    # One spec, one executor: the whole grid goes through the unified
+    # execution API, so switching between an in-process service, a plain
+    # pool and a remote server is the choice of one --executor name.
+    # Resolved first, before any pipeline/trace work, so a bad name or a
+    # --endpoint/--executor contradiction fails in milliseconds.
+    executor_name = args.executor or ("remote" if args.endpoint else "service")
+    if executor_name == "remote" and not args.endpoint:
+        print("--executor remote needs --endpoint URL", file=sys.stderr)
+        return 2
+    if args.endpoint and executor_name != "remote":
+        # Refuse the contradiction rather than silently running locally while
+        # the JSON report claims a server endpoint.
+        print(
+            f"--endpoint is only meaningful with the remote executor; drop it or "
+            f"drop --executor {executor_name}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        executor = resolve_executor(
+            executor_name,
+            cache=cache,
+            max_workers=args.max_workers,
+            endpoint=args.endpoint,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     remote_stats_before: dict[str, Any] | None = None
-    if args.endpoint:
-        from .client import RemoteEvaluationClient
+    if isinstance(executor, RemoteExecutor):
+        remote_stats_before = executor.client.cache_stats()
 
-        executor: Any = RemoteEvaluationClient(args.endpoint)
-        remote_stats_before = executor.cache_stats()
-    else:
-        executor = EvaluationService(cache=cache, max_workers=args.max_workers)
+    with executor:
+        pipeline = _build_pipeline(args, store, cache)
 
-    with executor as service:
-        outcome = service.submit_sweep(spec).result()
+        grid = dict(args.params or [("sparsity_threshold", [0.1, 0.3, 0.5])])
+
+        policy = mixed_precision_policy(pipeline.relu_unet(), relu=True)
+        trace = pipeline.collect_trace(relu=True)
+        quant_trace = trace_to_workloads(trace, policy)
+
+        # The whole grid is one declarative sweep spec: the executor's
+        # backend plans it, coalesces the cases with any other traffic,
+        # and returns per-case reports plus the dense baseline; over HTTP
+        # the spec travels as plain, versioned JSON.
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={name: list(values) for name, values in grid.items()},
+            trace=quant_trace,
+            baseline=dense_baseline_config(),
+            backend=args.backend,
+            name=f"sweep-{args.workload}",
+        )
+        outcome = executor.submit(spec).result()
         baseline = outcome.baseline
         reports = outcome.reports
         if remote_stats_before is not None:
-            cache_summary = _remote_cache_summary(remote_stats_before, service.cache_stats())
+            cache_summary = _remote_cache_summary(
+                remote_stats_before, executor.client.cache_stats()
+            )
         else:
             cache_summary = _cache_summary(cache, store)
 
@@ -274,6 +302,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "command": "sweep",
             "workload": args.workload,
             "endpoint": args.endpoint,
+            "executor": executor_name,
             "grid": {name: list(values) for name, values in grid.items()},
             "cases": results,
             "baseline_cycles": baseline.total_cycles,
@@ -289,8 +318,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from ..analysis.tables import format_table
 
+    if args.executor == "remote":
+        print(
+            "repro evaluate runs in-process and has no --endpoint; "
+            "use --executor inline/thread/process/service (or `repro sweep "
+            "--endpoint` for remote execution)",
+            file=sys.stderr,
+        )
+        return 2
+
     store = _resolve_store(args)
     cache = ReportCache(store=store)
+
+    # Resolve a non-service executor up front (it only needs the cache), so
+    # an unknown name fails before any pipeline or quality work starts;
+    # "service" is bound to this command's service below.
+    hw_executor = None
+    if args.executor != "service":
+        try:
+            hw_executor = resolve_executor(args.executor, cache=cache)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     pipeline = _build_pipeline(args, store, cache)
 
     quality_results: list[dict[str, Any]] = []
@@ -313,7 +363,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             )
             for scheme in args.quality or []
         ]
-        evaluation = pipeline.evaluate_hardware()
+        # The hardware comparison goes through the unified execution API;
+        # --executor service reuses this command's service (and its pools)
+        # for the simulation jobs too.
+        if hw_executor is None:
+            hw_executor = service.as_executor()
+        with hw_executor:
+            evaluation = pipeline.evaluate_hardware(executor=hw_executor)
         quality_results = [job.result() for job in quality_jobs]
 
     print(
@@ -352,6 +408,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         {
             "command": "evaluate",
             "workload": args.workload,
+            "executor": args.executor,
             "hardware": {
                 "average_sparsity": evaluation.average_sparsity,
                 "sparsity_speedup": evaluation.sparsity_speedup,
@@ -504,11 +561,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--backend", default=None, help="simulation backend name")
     sweep.add_argument("--max-workers", type=int, default=None)
     sweep.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help="execution backend for the sweep spec: one of "
+        f"{sorted(executor_names())} or any name registered via "
+        "repro.core.execution.register_executor (default: 'service', or "
+        "'remote' when --endpoint is given)",
+    )
+    sweep.add_argument(
         "--endpoint",
         default=None,
         metavar="URL",
         help="submit jobs to a remote `repro serve` server (e.g. http://127.0.0.1:8035) "
-        "instead of an in-process service",
+        "instead of an in-process service (implies --executor remote)",
     )
     sweep.set_defaults(fn=_cmd_sweep)
 
@@ -524,6 +590,16 @@ def build_parser() -> argparse.ArgumentParser:
         "on the process pool",
     )
     evaluate.add_argument("--process-workers", type=int, default=None)
+    evaluate.add_argument(
+        "--executor",
+        default="inline",
+        metavar="NAME",
+        help="execution backend for the hardware-simulation jobs: inline, "
+        "thread, process, service (reuses this command's evaluation "
+        "service), or a registered third-party name — 'remote' is not "
+        "available here since evaluate has no --endpoint (default: "
+        "%(default)s)",
+    )
     evaluate.set_defaults(fn=_cmd_evaluate)
 
     serve = sub.add_parser(

@@ -22,7 +22,10 @@ retrying; unknown job ids become :class:`KeyError`, matching the in-process
 service.
 
 Transient transport failures (connection refused while the server starts,
-dropped keep-alive sockets) are retried with exponential backoff.  A
+dropped keep-alive sockets) and HTTP 503 rejections are retried with
+exponential backoff plus *bounded jitter*, so a fleet of clients hitting a
+restarting server spreads its retries instead of hammering it in lockstep;
+a ``Retry-After`` header on a 503 sets the floor of the next delay.  A
 :class:`RemoteJob` polls the server for its status with capped exponential
 backoff and decodes the result envelope exactly once.  Failures carry the
 server-side error *message*; the original exception type does not cross the
@@ -32,6 +35,7 @@ wire.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -51,6 +55,23 @@ from .specs import (
 )
 
 _TERMINAL = (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+#: Upper bound honored for a server's ``Retry-After`` header, so a
+#: misconfigured (or hostile) server cannot park clients for hours.
+RETRY_AFTER_CAP = 30.0
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds from a ``Retry-After`` header (delta form only), capped."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None  # HTTP-date form: fall back to our own backoff
+    if seconds < 0:
+        return None
+    return min(seconds, RETRY_AFTER_CAP)
 
 
 class RemoteServiceError(RuntimeError):
@@ -161,9 +182,13 @@ class RemoteEvaluationClient:
         Base URL of the server, e.g. ``"http://127.0.0.1:8035"``.
     timeout:
         Per-request socket timeout in seconds.
-    retries / backoff:
-        Transport-failure retry budget: each attempt sleeps
-        ``backoff * 2**attempt`` before the next one.
+    retries / backoff / max_backoff / jitter:
+        Retry budget for transport failures and HTTP 503: attempt ``i``
+        sleeps ``min(backoff * 2**i, max_backoff)`` stretched by a random
+        factor in ``[1, 1 + jitter]`` — bounded jitter, so many clients
+        retrying against one recovering server fan out instead of arriving
+        in lockstep.  A ``Retry-After`` header on a 503 raises the floor of
+        that delay (capped at :data:`RETRY_AFTER_CAP` seconds).
     poll_interval / max_poll_interval:
         Result-polling cadence for :meth:`RemoteJob.wait`.
     """
@@ -174,6 +199,8 @@ class RemoteEvaluationClient:
         timeout: float = 30.0,
         retries: int = 5,
         backoff: float = 0.1,
+        max_backoff: float = 5.0,
+        jitter: float = 0.5,
         poll_interval: float = 0.05,
         max_poll_interval: float = 1.0,
     ):
@@ -181,10 +208,21 @@ class RemoteEvaluationClient:
         self.timeout = timeout
         self.retries = max(1, retries)
         self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.jitter = max(0.0, jitter)
         self.poll_interval = poll_interval
         self.max_poll_interval = max_poll_interval
+        self._rng = random.Random()
 
     # -- transport --------------------------------------------------------------
+
+    def _retry_delay(self, attempt: int, retry_after: float | None = None) -> float:
+        """Jittered exponential backoff, floored by the server's Retry-After."""
+        delay = min(self.backoff * 2**attempt, self.max_backoff)
+        delay *= 1.0 + self._rng.random() * self.jitter
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
 
     def _request(self, method: str, path: str, payload: dict[str, Any] | None = None) -> Any:
         url = f"{self.endpoint}{path}"
@@ -205,6 +243,15 @@ class RemoteEvaluationClient:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
+                # 503 is the one HTTP rejection that happens *before* the
+                # server does any work (overloaded, or a load balancer with
+                # no healthy backend), so even POSTs retry safely.  The
+                # server's Retry-After sets the floor of the jittered delay.
+                if exc.code == 503 and attempt + 1 < self.retries:
+                    last_error = exc
+                    retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+                    time.sleep(self._retry_delay(attempt, retry_after))
+                    continue
                 raise self._http_error(method, path, exc) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
                 last_error = exc
@@ -215,7 +262,7 @@ class RemoteEvaluationClient:
                 # still starting up); reads and cancels always retry.
                 if method == "POST" and not self._connection_refused(exc):
                     break
-                time.sleep(self.backoff * 2**attempt)
+                time.sleep(self._retry_delay(attempt))
         raise RemoteServiceError(
             f"cannot reach {url} ({method}, {attempt + 1} attempt(s)): {last_error}"
         ) from last_error
@@ -316,6 +363,14 @@ class RemoteEvaluationClient:
     def submit(self, fn: Callable[..., Any] | str, *args: Any, **kwargs: Any) -> RemoteJob:
         """Convenience form of :meth:`submit_callable`."""
         return self.submit_callable(fn, args=args, kwargs=kwargs)
+
+    def as_executor(self) -> "Any":
+        """This client behind the unified :class:`~repro.core.execution.Executor`
+        protocol (``submit(spec) -> JobHandle``), sharing this client's
+        transport, retry and polling configuration."""
+        from ..core.execution import RemoteExecutor
+
+        return RemoteExecutor(client=self)
 
     # -- inspection -------------------------------------------------------------
 

@@ -21,17 +21,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any
+from typing import Any, Callable
 
+# The lifecycle vocabulary is shared with every other execution backend
+# through the unified execution API; re-exported here for compatibility.
+from ..core.execution import JobFailedError, JobStatus
 
-class JobStatus(str, Enum):
-    """Lifecycle states of a job."""
-
-    QUEUED = "queued"
-    RUNNING = "running"
-    DONE = "done"
-    FAILED = "failed"
-    CANCELLED = "cancelled"
+__all__ = ["Job", "JobFailedError", "JobKind", "JobStatus"]
 
 
 class JobKind(str, Enum):
@@ -51,10 +47,6 @@ class JobKind(str, Enum):
     CALLABLE = "callable"
 
 
-class JobFailedError(RuntimeError):
-    """Raised when :meth:`Job.result` is called on a failed or cancelled job."""
-
-
 @dataclass
 class Job:
     """One queued evaluation, with its eventual result or error."""
@@ -70,6 +62,7 @@ class Job:
     finished_at: float | None = None
     _completed: threading.Event = field(default_factory=threading.Event, repr=False)
     _transitions: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _callbacks: list = field(default_factory=list, repr=False)
 
     @property
     def done(self) -> bool:
@@ -99,6 +92,39 @@ class Job:
             ) from self.error
         return self.result_value
 
+    def add_done_callback(self, fn: Callable[["Job"], None]) -> None:
+        """Run ``fn(job)`` once the job reaches a terminal state.
+
+        Fires immediately when the job is already terminal; otherwise the
+        state transition that completes the job invokes it (outside the
+        transition lock, so callbacks may inspect the job freely).  Callback
+        exceptions are swallowed — completion must never be blocked by an
+        observer.
+        """
+        with self._transitions:
+            if not self._completed.is_set():
+                self._callbacks.append(fn)
+                return
+        self._run_callback(fn)
+
+    def _finish_locked(self) -> list:
+        """Seal a terminal transition (lock held): stamp the finish time,
+        signal waiters, and hand back the callbacks to fire outside the lock."""
+        self.finished_at = time.time()
+        self._completed.set()
+        callbacks, self._callbacks = self._callbacks, []
+        return callbacks
+
+    def _fire_callbacks(self, callbacks: list) -> None:
+        for fn in callbacks:
+            self._run_callback(fn)
+
+    def _run_callback(self, fn: Callable[["Job"], None]) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - observers must not break completion
+            pass
+
     # -- state transitions (service-internal) ----------------------------------
 
     def mark_running(self) -> bool:
@@ -123,8 +149,8 @@ class Job:
                 return
             self.result_value = value
             self.status = JobStatus.DONE
-            self.finished_at = time.time()
-            self._completed.set()
+            callbacks = self._finish_locked()
+        self._fire_callbacks(callbacks)
 
     def mark_failed(self, error: BaseException) -> None:
         with self._transitions:
@@ -132,8 +158,8 @@ class Job:
                 return
             self.error = error
             self.status = JobStatus.FAILED
-            self.finished_at = time.time()
-            self._completed.set()
+            callbacks = self._finish_locked()
+        self._fire_callbacks(callbacks)
 
     def mark_cancelled(self, reason: str = "service shut down") -> bool:
         """Cancel the job if it has not started; True when this call won.
@@ -146,9 +172,9 @@ class Job:
                 return False
             self.error = RuntimeError(reason)
             self.status = JobStatus.CANCELLED
-            self.finished_at = time.time()
-            self._completed.set()
-            return True
+            callbacks = self._finish_locked()
+        self._fire_callbacks(callbacks)
+        return True
 
     def summary(self) -> dict[str, Any]:
         """JSON-friendly status view (the CLI, HTTP API and tests use this)."""

@@ -46,7 +46,7 @@ from typing import Any, Callable, Iterable, Mapping
 from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import WorkloadTrace
-from ..core.experiments import ensure_picklable
+from ..core.execution import ensure_picklable
 from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
 from .jobs import Job, JobKind, JobStatus
 from .scheduler import SimulationRequest, coalesce_requests, run_batched
@@ -320,6 +320,14 @@ class EvaluationService:
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Job:
         """Convenience form of :meth:`submit_callable`."""
         return self.submit_callable(fn, args=args, kwargs=kwargs)
+
+    def as_executor(self) -> "Any":
+        """This service behind the unified :class:`~repro.core.execution.Executor`
+        protocol (``submit(spec) -> JobHandle``).  The executor borrows the
+        service — closing it leaves the service running."""
+        from ..core.execution import ServiceExecutor
+
+        return ServiceExecutor(service=self)
 
     # -- inspection -------------------------------------------------------------
 

@@ -270,11 +270,57 @@ class TestRegistry:
         with pytest.raises(codec.SchemaError, match="not wire-encodable"):
             codec.encode_value(Stranger())
 
-    def test_unknown_dataclass_field_rejected(self):
+    def test_unknown_dataclass_field_tolerated(self):
+        """A newer same-version writer may add minor fields; old readers drop them."""
         doc = codec.encode(CostSummary(1.0, 2.0, 3.0, 4.0))
         doc["bonus_field"] = 1
-        with pytest.raises(codec.SchemaError, match="bonus_field"):
-            codec.decode(doc)
+        decoded = codec.decode(doc)
+        assert isinstance(decoded, CostSummary)
+        assert not hasattr(decoded, "bonus_field")
+
+
+class TestSchemaVersionSkew:
+    """Old-reader/new-writer round-trips across the wire (ROADMAP follow-up).
+
+    Two processes on different revisions share one wire: a *new writer* may
+    (a) add minor fields under the same schema version — old readers must
+    tolerate and ignore them — or (b) bump the schema version for an
+    incompatible layout — old readers must reject it naming the versions
+    they do know, never misparse it.
+    """
+
+    def test_new_writer_minor_fields_survive_old_reader_roundtrip(self):
+        # Simulate the new writer: a same-version envelope with extra minor
+        # fields, serialized to the JSON the old reader actually receives.
+        envelope = codec.encode(QualityJobSpec(workload="cifar10", scheme="MXINT8"))
+        envelope["priority"] = 7  # minor addition the old reader predates
+        envelope["submitted_by"] = "new-writer"
+        wire = json.dumps(envelope, sort_keys=True)
+
+        decoded = codec.loads(wire)  # the old reader's view
+        assert decoded == QualityJobSpec(workload="cifar10", scheme="MXINT8")
+        # Re-encoding on the old side produces a clean same-version envelope.
+        assert codec.encode(decoded)[codec.SCHEMA_KEY] == "quality_spec@1"
+
+    def test_nested_minor_fields_tolerated(self):
+        """Skew applies per envelope: extras inside *nested* envelopes drop too."""
+        spec = SimulateJobSpec(config=sqdm_config(), trace=make_trace())
+        envelope = codec.encode(spec)
+        envelope["config"]["fab_node_nm"] = 3  # newer accelerator_config writer
+        decoded = codec.loads(json.dumps(envelope))
+        assert decoded.config == sqdm_config()
+
+    def test_unknown_schema_version_rejected_with_alternatives(self):
+        """A version bump is a layout change: old readers refuse, citing what they know."""
+        envelope = codec.encode(QualityJobSpec(workload="cifar10", scheme="MXINT8"))
+        envelope[codec.SCHEMA_KEY] = "quality_spec@2"
+        with pytest.raises(codec.UnknownSchemaError, match=r"version\(s\) \[1\]"):
+            codec.loads(json.dumps(envelope))
+
+    def test_unknown_version_rejected_before_payload_is_touched(self):
+        """Rejection must come from the version gate, not from payload parsing."""
+        with pytest.raises(codec.UnknownSchemaError, match="quality_spec"):
+            codec.decode({codec.SCHEMA_KEY: "quality_spec@9", "garbage": object()})
 
 
 #: Names registered by this module's own registry tests; excluded from the

@@ -680,3 +680,128 @@ class TestCLIRemote:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+
+# -- retry backoff: bounded jitter + Retry-After ---------------------------------
+
+
+class _FakeResponse:
+    """Minimal urlopen context manager answering with a fixed JSON body."""
+
+    def __init__(self, payload: bytes = b'{"status": "ok"}'):
+        self._payload = payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def read(self):
+        return self._payload
+
+
+class TestRetryBackoff:
+    """The client's retry schedule must not march a fleet in lockstep: delays
+    carry bounded jitter, and a 503's Retry-After sets the delay floor."""
+
+    def _patch_transport(self, monkeypatch, responses):
+        """urlopen pops scripted outcomes; sleeps are recorded, not taken."""
+        import io
+        import urllib.request as urlreq
+        from email.message import Message
+
+        sleeps = []
+        calls = {"count": 0}
+
+        def fake_urlopen(request, timeout=None):
+            calls["count"] += 1
+            outcome = responses[min(calls["count"], len(responses)) - 1]
+            if isinstance(outcome, Exception):
+                raise outcome
+            if outcome == "ok":
+                return _FakeResponse()
+            # an int (+ optional Retry-After) scripts an HTTPError
+            code, retry_after = outcome
+            headers = Message()
+            if retry_after is not None:
+                headers["Retry-After"] = str(retry_after)
+            raise urllib.error.HTTPError(
+                request.full_url, code, "busy", headers, io.BytesIO(b'{"error": "overloaded"}')
+            )
+
+        monkeypatch.setattr(urlreq, "urlopen", fake_urlopen)
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda seconds: sleeps.append(seconds)
+        )
+        return sleeps, calls
+
+    def test_503_retries_honor_retry_after_floor(self, monkeypatch):
+        sleeps, calls = self._patch_transport(
+            monkeypatch, [(503, "0.4"), (503, "0.4"), "ok"]
+        )
+        client = RemoteEvaluationClient("http://fleet", retries=5, backoff=0.01)
+        assert client.health() == {"status": "ok"}
+        assert calls["count"] == 3
+        assert len(sleeps) == 2
+        assert all(delay >= 0.4 for delay in sleeps), sleeps
+
+    def test_503_without_retry_after_uses_jittered_backoff(self, monkeypatch):
+        sleeps, calls = self._patch_transport(monkeypatch, [(503, None), "ok"])
+        client = RemoteEvaluationClient(
+            "http://fleet", retries=3, backoff=0.1, jitter=0.5, max_backoff=5.0
+        )
+        assert client.health() == {"status": "ok"}
+        assert len(sleeps) == 1
+        # attempt 0: base 0.1, stretched into [0.1, 0.15] by bounded jitter
+        assert 0.1 <= sleeps[0] <= 0.15 + 1e-9, sleeps
+
+    def test_503_exhaustion_surfaces_server_error(self, monkeypatch):
+        self._patch_transport(monkeypatch, [(503, "0.1")] * 4)
+        client = RemoteEvaluationClient("http://fleet", retries=3, backoff=0.01)
+        with pytest.raises(RemoteServiceError, match="503"):
+            client.health()
+
+    def test_post_retries_on_503_but_not_on_dropped_connection(self, monkeypatch):
+        # 503 means the server did no work: POSTs retry.
+        sleeps, calls = self._patch_transport(monkeypatch, [(503, "0.2"), "ok"])
+        client = RemoteEvaluationClient("http://fleet", retries=4, backoff=0.01)
+        assert client._request("POST", "/jobs", {"spec": {}}) == {"status": "ok"}
+        assert calls["count"] == 2
+        # A dropped connection mid-POST may have enqueued the job: no retry.
+        sleeps2, calls2 = self._patch_transport(
+            monkeypatch, [urllib.error.URLError(OSError("connection reset"))] * 3
+        )
+        with pytest.raises(RemoteServiceError, match="1 attempt"):
+            client._request("POST", "/jobs", {"spec": {}})
+        assert calls2["count"] == 1 and sleeps2 == []
+
+    def test_transport_retry_delays_are_jittered_and_capped(self, monkeypatch):
+        import random
+
+        sleeps, _ = self._patch_transport(
+            monkeypatch, [urllib.error.URLError(ConnectionRefusedError())] * 8
+        )
+        client = RemoteEvaluationClient(
+            "http://fleet", retries=8, backoff=0.1, jitter=0.5, max_backoff=0.8
+        )
+        client._rng = random.Random(1234)  # deterministic but non-degenerate jitter
+        with pytest.raises(RemoteServiceError, match="8 attempt"):
+            client.health()
+        assert len(sleeps) == 8
+        for attempt, delay in enumerate(sleeps):
+            base = min(0.1 * 2**attempt, 0.8)
+            assert base - 1e-9 <= delay <= base * 1.5 + 1e-9, (attempt, delay)
+        # jitter actually varies the schedule (no lockstep)
+        ratios = {round(delay / min(0.1 * 2**i, 0.8), 6) for i, delay in enumerate(sleeps)}
+        assert len(ratios) > 1, ratios
+
+    def test_retry_after_parse_rules(self):
+        from repro.serve.client import RETRY_AFTER_CAP, _parse_retry_after
+
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("2.5") == 2.5
+        assert _parse_retry_after("  7 ") == 7.0
+        assert _parse_retry_after("-3") is None
+        assert _parse_retry_after("Wed, 21 Oct 2026 07:28:00 GMT") is None
+        assert _parse_retry_after("86400") == RETRY_AFTER_CAP
