@@ -15,10 +15,13 @@ import pytest
 
 from conftest import run_once
 
-from repro.accelerator import AcceleratorSimulator, sqdm_config
+from repro.accelerator import AcceleratorSimulator, random_workload, sqdm_config
 from repro.analysis.tables import format_table
+from repro.core.bench import BenchWorkload, bench_grid
 from repro.core.policy import mixed_precision_policy
+from repro.core.report_cache import ReportCache
 from repro.core.sparsity import trace_to_workloads
+from repro.serve import BatchStats, SimulationRequest, run_batched
 
 RTOL = 1e-9
 
@@ -73,3 +76,70 @@ def test_vectorized_backend_matches_and_outruns_reference(benchmark, ctx):
     )
 
     assert speedup >= 10.0, f"vectorized backend only {speedup:.1f}x faster than reference"
+
+
+def test_cross_config_sweep_fuses_kernel_calls_and_outruns_per_config(benchmark):
+    """Acceptance for the cross-config kernel: a 16-config x 8-trace sweep
+    dispatches through at most two batched kernel calls, runs >= 3x faster
+    than the per-config ``run_traces`` loop, and every one of the 128 reports
+    stays within 1e-9 relative of the reference backend."""
+    configs = bench_grid(BenchWorkload(num_configs=16))
+    assert len(configs) == 16
+    traces = [
+        [
+            [
+                random_workload(
+                    in_channels=8, out_channels=8, spatial=4, seed=seed, name="layer0"
+                )
+            ]
+        ]
+        for seed in range(8)
+    ]
+
+    # --- dispatch: the whole grid fuses into (at most) two kernel calls ----
+    requests = [
+        SimulationRequest(config, trace) for config in configs for trace in traces
+    ]
+    stats = BatchStats()
+    reports = run_once(
+        benchmark, lambda: run_batched(requests, cache=ReportCache(max_entries=256), stats=stats)
+    )
+    assert len(reports) == 128
+    assert stats.kernel_calls <= 2, f"sweep fragmented into {stats.kernel_calls} kernel calls"
+    assert stats.cross_config_calls >= 1
+    assert stats.configs_simulated == 16 and stats.traces_simulated == 128
+
+    # --- equivalence: every (config, trace) report matches the reference ---
+    for request, report in zip(requests, reports):
+        ref = AcceleratorSimulator(request.config, backend="reference").run_trace(request.trace)
+        assert report.total_cycles == pytest.approx(ref.total_cycles, rel=RTOL)
+        assert report.executed_macs == pytest.approx(ref.executed_macs, rel=RTOL)
+        for component, expected in ref.total_energy.as_dict().items():
+            assert report.total_energy.as_dict()[component] == pytest.approx(
+                expected, rel=RTOL, abs=1e-9
+            ), (request.config.name, component)
+
+    # --- speed: >= 3x over the per-config PR-2 path on the same sweep ------
+    entries = [(config, traces) for config in configs]
+    fused = AcceleratorSimulator(configs[0])
+
+    def per_config() -> None:
+        for config in configs:
+            AcceleratorSimulator(config).run_traces(traces)
+
+    fused_time = _min_runtime(lambda: fused.run_config_traces(entries), repeats=9)
+    loop_time = _min_runtime(per_config, repeats=5)
+    speedup = loop_time / fused_time
+
+    print()
+    print(
+        format_table(
+            ["Sweep path", "wall-clock (ms)", "Speed-up"],
+            [
+                ["per-config run_traces loop", f"{loop_time * 1e3:.2f}", "1.0x"],
+                ["cross-config kernel", f"{fused_time * 1e3:.2f}", f"{speedup:.1f}x"],
+            ],
+            title="16-config x 8-trace design-space sweep",
+        )
+    )
+    assert speedup >= 3.0, f"cross-config kernel only {speedup:.1f}x faster"

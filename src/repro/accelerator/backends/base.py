@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..config import AcceleratorConfig
     from ..simulator import SimulationReport, WorkloadTrace
 
 
@@ -59,6 +60,21 @@ class SimulationBackend(Protocol):
         the whole list into a single pass; others run a plain loop.  Either
         way, each trace's report must be identical to a ``run_trace`` run,
         and ``detector_stats`` afterwards reflects the whole batch.
+        """
+        ...
+
+    def run_config_traces(
+        self, entries: "list[tuple[AcceleratorConfig, list[WorkloadTrace]]]"
+    ) -> "list[list[SimulationReport]]":
+        """Execute a ``(config x trace)`` batch, one report list per entry.
+
+        The cross-config generalization of :meth:`run_traces`: every entry
+        pairs a configuration with the traces to run on it, and the result is
+        aligned with the input.  The vectorized engine fuses the whole batch
+        (all configs, all traces) into one NumPy pass; the reference engine
+        loops.  All entries share this backend's energy table, and every
+        report must be identical to a solo ``run_trace`` of its
+        (config, trace) pair.
         """
         ...
 

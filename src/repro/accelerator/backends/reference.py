@@ -68,6 +68,22 @@ class ReferenceBackend:
         """
         return [self.run_trace(trace) for trace in traces]
 
+    def run_config_traces(
+        self, entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]"
+    ) -> "list[list]":
+        """Execute a ``(config x trace)`` batch, looping one controller per config.
+
+        Interface parity with the vectorized engine's cross-config kernel:
+        each entry's configuration gets a fresh :class:`ReferenceBackend`
+        sharing this backend's energy table, so results are exactly what solo
+        ``run_trace`` calls would produce.
+        """
+        results = []
+        for config, traces in entries:
+            backend = self if config is self.config else ReferenceBackend(config, self.energy_table)
+            results.append(backend.run_traces(traces))
+        return results
+
     def run_trace(self, trace: "list[list[ConvLayerWorkload]]"):
         """Execute a full multi-time-step workload trace."""
         from ..simulator import SimulationReport
@@ -87,4 +103,7 @@ class ReferenceBackend:
             total_energy=total_energy,
             step_results=step_results,
             clock_ghz=self.config.clock_ghz,
+            # The controller was reset at trace start, so the detector's
+            # counters at this point are exactly this trace's activity.
+            detector_stats=self.detector_stats,
         )

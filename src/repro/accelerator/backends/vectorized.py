@@ -19,6 +19,20 @@ round-off: summation orders differ slightly, so totals agree to ~1e-12
 relative rather than bit-for-bit, well inside the 1e-9 equivalence bound the
 test suite enforces.
 
+Batching happens on two axes:
+
+* *cross-trace* (PR 2): :meth:`VectorizedBackend.run_traces` fuses N traces
+  sharing one configuration into a single pass;
+* *cross-config* (this revision): :func:`run_config_traces` additionally
+  stacks the per-config scalar parameters (PE counts, thresholds, multiplier
+  and packing factors, clocks, buffer capacities, NoC hop tables) into
+  arrays aligned with the flattened entry axis, so a whole design-space
+  sweep — many configurations, each over many traces — is one NumPy pass.
+  Configurations whose PE counts differ are padded to the widest PE axis in
+  the batch and masked; every per-entry quantity stays row-independent, so
+  each report is bit-identical to a solo ``run_trace`` of that
+  (config, trace) pair.
+
 Intentional difference: per-PE :class:`ChannelGroupResult` lists are omitted
 (``LayerExecutionResult.pe_results`` stays empty) — use the reference backend
 when per-PE introspection is needed.
@@ -41,17 +55,461 @@ _ALL_DENSE_THRESHOLD = 1.1
 _ALL_SPARSE_THRESHOLD = -0.1
 
 
-def _chunk_counts(totals: np.ndarray, parts: int) -> np.ndarray:
-    """Per-chunk sizes of ``np.array_split(range(n), parts)`` for each n in ``totals``.
+def _chunk_counts(
+    totals: np.ndarray, parts: "np.ndarray | int", width: int | None = None
+) -> np.ndarray:
+    """Per-chunk sizes of ``np.array_split(range(n), p)`` for each (n, p) pair.
 
-    ``array_split`` gives the first ``n % parts`` chunks one extra element;
-    this reproduces those sizes as a ``(len(totals), parts)`` integer array
-    without materializing any index lists.
+    ``array_split`` gives the first ``n % p`` chunks one extra element; this
+    reproduces those sizes as a ``(len(totals), width)`` integer array without
+    materializing any index lists.  ``parts`` is either one PE count shared by
+    every row or a per-row array (the cross-config batch); rows whose count is
+    below ``width`` are zero-padded on the right.
     """
-    base = totals // parts
-    remainder = totals % parts
-    chunk_index = np.arange(parts)
-    return base[:, None] + (chunk_index[None, :] < remainder[:, None])
+    parts = np.asarray(parts, dtype=np.int64)
+    per_row = parts.ndim > 0
+    if width is None:
+        width = int(parts.max(initial=0)) if per_row else int(parts)
+    safe = np.maximum(parts, 1)
+    base = totals // safe
+    remainder = totals % safe
+    chunk_index = np.arange(width)
+    counts = base[:, None] + (chunk_index[None, :] < remainder[:, None])
+    if per_row:
+        counts = np.where(chunk_index[None, :] < parts[:, None], counts, 0)
+    return counts
+
+
+def _classification_sources(
+    entries: "list[tuple[int, int, int, ConvLayerWorkload]]",
+    mixed: np.ndarray,
+    periods: np.ndarray,
+) -> "tuple[np.ndarray, dict[tuple[int, int], DetectorStats]]":
+    """For each entry, the entry index whose sparsity sets its dense/sparse split.
+
+    Mirrors :class:`TemporalSparsityDetector`: a layer's classification is
+    refreshed when first seen and whenever ``update_period`` time steps have
+    elapsed since its last refresh; between refreshes the stale channel
+    grouping (computed from the refresh step's sparsity) is reused while the
+    *current* sparsity still drives the datapath work.  Every (config, trace)
+    pair of a batch carries its own detector state — classifications never
+    leak across traces or configurations, so batched results match solo runs.
+    Degenerate configurations (``mixed[c]`` False: all-dense or all-sparse)
+    bypass the detector entirely, exactly like the reference controller.
+
+    Returns the per-entry source indices plus per-(config, trace) detector
+    activity, which the kernel attaches to each report.
+    """
+    source = np.arange(len(entries), dtype=np.int64)
+    last_update: dict[tuple[int, int, str], tuple[int, int]] = {}
+    stats: dict[tuple[int, int], DetectorStats] = {}
+    for index, (config_idx, trace_idx, time_step, workload) in enumerate(entries):
+        if not mixed[config_idx]:
+            continue
+        key = (config_idx, trace_idx, workload.name)
+        previous = last_update.get(key)
+        if previous is None or time_step - previous[0] >= periods[config_idx]:
+            last_update[key] = (time_step, index)
+            pair = stats.setdefault((config_idx, trace_idx), DetectorStats())
+            pair.updates_performed += 1
+            pair.channels_evaluated += workload.in_channels
+        else:
+            source[index] = previous[1]
+    return source, stats
+
+
+#: Hop-count memo keyed by PE-array shape: the chain-of-routers topology (and
+#: hence every GLB->PE hop count) is fully determined by (num_dpe, num_spe),
+#: so sweeps over other knobs skip the networkx graph build entirely.  A
+#: racing double-compute stores the same values, so no lock is needed.
+_HOPS_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _config_hops(config: AcceleratorConfig, energy_table: EnergyTable) -> np.ndarray:
+    """Hop counts per PE in controller dispatch order (DPEs then SPEs)."""
+    shape = (config.num_dpe, config.num_spe)
+    cached = _HOPS_CACHE.get(shape)
+    if cached is None:
+        noc = InterconnectNetwork(config, energy_table)
+        pe_order = [f"dpe{i}" for i in range(config.num_dpe)] + [
+            f"spe{i}" for i in range(config.num_spe)
+        ]
+        cached = np.array([noc.hops_to(name) for name in pe_order], dtype=np.float64)
+        cached.setflags(write=False)
+        _HOPS_CACHE[shape] = cached
+    return cached
+
+
+def _zero_report(config: AcceleratorConfig, trace: "list[list[ConvLayerWorkload]]"):
+    from ..simulator import SimulationReport, StepResult
+
+    return SimulationReport(
+        config_name=config.name,
+        total_cycles=0.0,
+        total_energy=EnergyBreakdown(),
+        step_results=[
+            StepResult(time_step=t, cycles=0.0, energy=EnergyBreakdown())
+            for t in range(len(trace))
+        ],
+        clock_ghz=config.clock_ghz,
+        detector_stats=DetectorStats(),
+    )
+
+
+def run_config_traces(
+    entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
+    energy_table: EnergyTable | None = None,
+    batch_stats: DetectorStats | None = None,
+) -> "list[list]":
+    """Execute a ``(config x trace)`` batch in one cross-config NumPy pass.
+
+    ``entries`` pairs each :class:`AcceleratorConfig` with the traces to run
+    on it; the result is one list of reports per entry, aligned with the
+    input.  All (config, trace, time step, layer) cells are flattened into a
+    single entry axis, per-config scalar parameters are gathered into arrays
+    aligned with that axis, and per-PE quantities are padded to the widest PE
+    count in the batch — so an entire sweep costs one batched pass instead of
+    one per configuration.  Every report is bit-identical to a solo
+    ``run_trace`` of its (config, trace) pair: the per-entry math is
+    row-independent, padding columns stay exactly zero, and each
+    (config, trace) pair keeps its own detector schedule.
+
+    All configurations in a batch must share ``energy_table``; the scheduler
+    guarantees this by grouping requests on the table fingerprint.  When
+    ``batch_stats`` is given it receives the whole batch's detector totals.
+    """
+    from ..controller import LayerExecutionResult
+    from ..simulator import SimulationReport, StepResult
+
+    table = energy_table or DEFAULT_ENERGY_TABLE
+    configs = [config for config, _ in entries]
+    flat = [
+        (config_idx, trace_idx, t, w)
+        for config_idx, (_, traces) in enumerate(entries)
+        for trace_idx, trace in enumerate(traces)
+        for t, workloads in enumerate(trace)
+        for w in workloads
+    ]
+    num_entries = len(flat)
+    if num_entries == 0:
+        return [[_zero_report(config, trace) for trace in traces] for config, traces in entries]
+
+    # --- per-config parameter rows, gathered onto the entry axis ----------
+    num_dpe_c = np.array([c.num_dpe for c in configs], dtype=np.int64)
+    num_spe_c = np.array([c.num_spe for c in configs], dtype=np.int64)
+    threshold_c = np.array([c.sparsity_threshold for c in configs], dtype=np.float64)
+    periods_c = np.array([c.sparsity_update_period for c in configs], dtype=np.int64)
+    multipliers_c = np.array([c.pe.multipliers for c in configs], dtype=np.float64)
+    sparse_util_c = np.array([c.pe.sparse_utilization for c in configs], dtype=np.float64)
+    sparse_kmac_c = np.array([c.pe.sparse_overhead_per_kmac for c in configs], dtype=np.float64)
+    overhead_c = np.array([c.pe.pipeline_overhead_cycles for c in configs], dtype=np.float64)
+    noc_bw_c = np.array([c.noc_bandwidth_bytes_per_cycle for c in configs], dtype=np.float64)
+    capacity_c = np.array([float(c.global_buffer_kib * 1024) for c in configs], dtype=np.float64)
+    mixed_c = (num_dpe_c > 0) & (num_spe_c > 0)
+
+    max_dpe = int(num_dpe_c.max())
+    max_spe = int(num_spe_c.max())
+
+    # Hop counts per (config, PE slot), slot-aligned with the padded per-PE
+    # axes below: dense slots first, then sparse slots, zeros past each
+    # config's real PE count (where the padded traffic is zero anyway).
+    hops_c = np.zeros((len(configs), max_dpe + max_spe), dtype=np.float64)
+    for config_idx, config in enumerate(configs):
+        hops = _config_hops(config, table)
+        hops_c[config_idx, : config.num_dpe] = hops[: config.num_dpe]
+        hops_c[config_idx, max_dpe : max_dpe + config.num_spe] = hops[config.num_dpe :]
+
+    cfg = np.array([config_idx for config_idx, _, _, _ in flat], dtype=np.int64)
+    dpe_e = num_dpe_c[cfg]
+    spe_e = num_spe_c[cfg]
+
+    # --- per-entry scalar arrays ------------------------------------------
+    # One pass over the workloads extracts the raw geometry; every derived
+    # quantity (footprints, MAC counts) is then computed as array math,
+    # reproducing the ConvLayerWorkload formulas exactly (integer-valued
+    # float64 products are exact well past these magnitudes).
+    workloads = [w for _, _, _, w in flat]
+    raw = np.array(
+        [
+            (w.in_channels, w.out_channels, w.kernel_size, w.out_height, w.out_width,
+             w.weight_bits, w.act_bits)
+            for w in workloads
+        ],
+        dtype=np.float64,
+    )
+    in_channels = raw[:, 0].astype(np.int64)
+    out_channels = raw[:, 1]
+    kernel_sq = raw[:, 2] * raw[:, 2]
+    spatial = raw[:, 3] * raw[:, 4]
+    weight_bits = raw[:, 5]
+    act_bits = raw[:, 6]
+    op_bits = np.maximum(weight_bits, act_bits).astype(np.int64)
+    macs_per_channel = out_channels * kernel_sq * spatial
+    weight_bytes_total = out_channels * raw[:, 0] * kernel_sq * weight_bits / 8.0
+    output_bytes = out_channels * spatial * act_bits / 8.0
+    input_bytes_full = raw[:, 0] * spatial * act_bits / 8.0
+    total_macs = raw[:, 0] * macs_per_channel
+    channels_div = np.maximum(raw[:, 0], 1.0)
+
+    # MAC energy and lane packing per entry (few distinct precisions).
+    mac_energy = np.empty(num_entries, dtype=np.float64)
+    packing = np.empty(num_entries, dtype=np.float64)
+    for bits in np.unique(op_bits):
+        selected = op_bits == bits
+        mac_energy[selected] = table.mac_energy(int(bits))
+        packing[selected] = max(16.0 / float(bits), 1.0)
+    dense_throughput = multipliers_c[cfg] * packing
+    sparse_throughput = dense_throughput * sparse_util_c[cfg]
+    pipeline_overhead = overhead_c[cfg]
+
+    # --- padded channel-sparsity matrices ---------------------------------
+    # One concatenate + fancy-index assignment fills every row at once; the
+    # values are copied verbatim, so the fill is bit-identical to a per-row
+    # Python loop.
+    max_channels = max(1, int(in_channels.max()))
+    sparsity_now = np.zeros((num_entries, max_channels), dtype=np.float64)
+    flat_sparsity = np.concatenate(
+        [np.asarray(w.channel_sparsity, dtype=np.float64) for w in workloads]
+    )
+    rows = np.repeat(np.arange(num_entries), in_channels)
+    starts_per_row = np.concatenate(([0], np.cumsum(in_channels)[:-1]))
+    cols = np.arange(flat_sparsity.size) - np.repeat(starts_per_row, in_channels)
+    sparsity_now[rows, cols] = flat_sparsity
+    valid = np.arange(max_channels)[None, :] < in_channels[:, None]
+
+    # Per-entry classification thresholds: degenerate configurations force
+    # an all-dense / all-sparse split regardless of the detector.
+    threshold_e = np.where(
+        spe_e == 0,
+        _ALL_DENSE_THRESHOLD,
+        np.where(dpe_e == 0, _ALL_SPARSE_THRESHOLD, threshold_c[cfg]),
+    )
+    source, detector_by_pair = _classification_sources(flat, mixed_c, periods_c)
+    if detector_by_pair:
+        sparsity_src = sparsity_now[source]
+    else:
+        sparsity_src = sparsity_now
+    if batch_stats is not None:
+        batch_stats.updates_performed = sum(s.updates_performed for s in detector_by_pair.values())
+        batch_stats.channels_evaluated = sum(
+            s.channels_evaluated for s in detector_by_pair.values()
+        )
+
+    sparse_mask = (sparsity_src >= threshold_e[:, None]) & valid
+    dense_mask = valid & ~sparse_mask
+    num_dense = dense_mask.sum(axis=1)
+    num_sparse = sparse_mask.sum(axis=1)
+
+    # --- dense PE chunks --------------------------------------------------
+    if max_dpe:
+        dense_counts = _chunk_counts(num_dense, dpe_e, max_dpe).astype(np.float64)
+        dense_macs = dense_counts * macs_per_channel[:, None]
+        dense_cycles_pe = dense_macs / dense_throughput[:, None] + pipeline_overhead[:, None] * (
+            dense_macs > 0
+        )
+        dense_input_bytes = dense_counts * spatial[:, None] * act_bits[:, None] / 8.0
+        dense_weight_bytes = weight_bytes_total[:, None] * (dense_counts / channels_div[:, None])
+        dense_cycles = dense_cycles_pe.max(axis=1)
+    else:
+        dense_counts = np.zeros((num_entries, 0))
+        dense_macs = dense_cycles_pe = dense_input_bytes = dense_weight_bytes = dense_counts
+        dense_cycles = np.zeros(num_entries)
+
+    # --- sparse PE chunks -------------------------------------------------
+    if max_spe:
+        # Densities of the sparse channels, compacted to the front of each
+        # row in ascending channel order (matching np.flatnonzero), so
+        # array_split chunk sums become prefix-sum differences.
+        sparse_density = np.where(sparse_mask, 1.0 - sparsity_now, 0.0)
+        front_order = np.argsort(~sparse_mask, axis=1, kind="stable")
+        compacted = np.take_along_axis(sparse_density, front_order, axis=1)
+        prefix = np.zeros((num_entries, max_channels + 1), dtype=np.float64)
+        np.cumsum(compacted, axis=1, out=prefix[:, 1:])
+
+        sparse_counts = _chunk_counts(num_sparse, spe_e, max_spe)
+        chunk_ends = np.cumsum(sparse_counts, axis=1)
+        chunk_starts = chunk_ends - sparse_counts
+        density_sums = np.take_along_axis(prefix, chunk_ends, axis=1) - np.take_along_axis(
+            prefix, chunk_starts, axis=1
+        )
+        sparse_counts = sparse_counts.astype(np.float64)
+
+        sparse_group_macs = sparse_counts * macs_per_channel[:, None]
+        nonzero_fraction = np.divide(
+            density_sums,
+            sparse_counts,
+            out=np.zeros_like(density_sums),
+            where=sparse_counts > 0,
+        )
+        effective_macs = sparse_group_macs * nonzero_fraction
+        sparse_cycles_pe = (
+            effective_macs / sparse_throughput[:, None]
+            + effective_macs / 1024.0 * sparse_kmac_c[cfg][:, None]
+            + pipeline_overhead[:, None] * (sparse_group_macs > 0)
+        )
+        sparse_input_bytes = (
+            density_sums * spatial[:, None] * act_bits[:, None] / 8.0
+            + sparse_counts * spatial[:, None] / 8.0
+        )
+        sparse_weight_bytes = weight_bytes_total[:, None] * (sparse_counts / channels_div[:, None])
+        sparse_cycles = sparse_cycles_pe.max(axis=1)
+    else:
+        empty = np.zeros((num_entries, 0))
+        sparse_group_macs = effective_macs = sparse_cycles_pe = empty
+        sparse_input_bytes = sparse_weight_bytes = empty
+        sparse_cycles = np.zeros(num_entries)
+
+    # --- per-entry roll-ups -----------------------------------------------
+    executed_dense = dense_macs.sum(axis=1)
+    executed_sparse = effective_macs.sum(axis=1)
+    executed = executed_dense + executed_sparse
+
+    # Per-PE GLB<->PE traffic (operands + partial-sum writeback), slot-padded
+    # past each entry's real PE count so hop products and row maxima see
+    # exact zeros there.
+    valid_dpe = np.arange(max_dpe)[None, :] < dpe_e[:, None]
+    valid_spe = np.arange(max_spe)[None, :] < spe_e[:, None]
+    pe_bytes = np.concatenate(
+        [
+            np.where(
+                valid_dpe, dense_input_bytes + dense_weight_bytes + output_bytes[:, None], 0.0
+            ),
+            np.where(
+                valid_spe, sparse_input_bytes + sparse_weight_bytes + output_bytes[:, None], 0.0
+            ),
+        ],
+        axis=1,
+    )
+    glb_bytes = pe_bytes.sum(axis=1)
+    noc_cycles = pe_bytes.max(axis=1) / noc_bw_c[cfg]
+    noc_pj = (pe_bytes * hops_c[cfg]).sum(axis=1) * table.noc_pj_per_byte_hop
+
+    mac_pj = executed * mac_energy
+    local_buffer_pj = glb_bytes * table.local_buffer_pj_per_byte
+    global_buffer_pj = glb_bytes * table.global_buffer_pj_per_byte
+    idle_pj = (
+        dense_cycles_pe.sum(axis=1) + sparse_cycles_pe.sum(axis=1)
+    ) * table.idle_pj_per_cycle_per_pe
+    detector_pj = (dpe_e + spe_e) * out_channels * table.detector_pj_per_channel
+
+    working_set = weight_bytes_total + input_bytes_full + output_bytes
+    capacity = capacity_c[cfg]
+    dram_pj = np.where(working_set > capacity, working_set - capacity, 0.0) * (
+        table.dram_pj_per_byte
+    )
+
+    compute_cycles = np.maximum(dense_cycles, sparse_cycles)
+    layer_cycles = np.maximum(compute_cycles, noc_cycles)
+
+    # --- report assembly --------------------------------------------------
+    # Bulk-convert to Python scalars once; per-element float() casts in the
+    # construction loop would dominate the backend's runtime.
+    energy_columns = [
+        mac_pj,
+        local_buffer_pj,
+        global_buffer_pj,
+        dram_pj,
+        noc_pj,
+        detector_pj,
+        idle_pj,
+    ]
+    per_layer = list(
+        zip(
+            layer_cycles.tolist(),
+            total_macs.tolist(),
+            executed.tolist(),
+            num_dense.tolist(),
+            num_sparse.tolist(),
+            dense_cycles.tolist(),
+            sparse_cycles.tolist(),
+            *[column.tolist() for column in energy_columns],
+        )
+    )
+    # Positional construction: this comprehension runs once per flattened
+    # entry and keyword-argument binding measurably dominates it on small
+    # traces.  Row layout: cycles, total/executed MACs, dense/sparse channel
+    # counts, dense/sparse cycles, then the 7 EnergyBreakdown components.
+    layer_results = [
+        LayerExecutionResult(
+            workloads[i].name, row[0], EnergyBreakdown(*row[7:]), row[1], row[2],
+            row[3], row[4], [], row[5], row[6],
+        )
+        for i, row in enumerate(per_layer)
+    ]
+
+    # Step boundaries in the flattened (config-major, trace-major) entry
+    # order.  ``np.add.reduceat`` sums each step's rows *sequentially* — the
+    # same float operation sequence as the reference loop and as a solo
+    # single-trace run, so batched per-step sums are bit-identical, not
+    # merely close.  Two reduceat quirks need handling: an empty segment
+    # (start == next start) yields the row *at* the start index instead of 0
+    # (zeroed afterwards via the mask), and the final segment runs to the end
+    # of the array, so a sentinel zero row both keeps trailing empty steps'
+    # start indices in range and pads the last step's sum with an exact +0.
+    step_sizes = np.array(
+        [len(step) for _, traces in entries for trace in traces for step in trace],
+        dtype=np.int64,
+    )
+    ends = np.cumsum(step_sizes)
+    starts = ends - step_sizes
+    stacked = np.column_stack([layer_cycles, *energy_columns])
+    trace_steps = np.array(
+        [len(trace) for _, traces in entries for trace in traces], dtype=np.int64
+    )
+    if len(step_sizes):
+        padded = np.vstack([stacked, np.zeros((1, stacked.shape[1]))])
+        sums = np.add.reduceat(padded, starts, axis=0)
+        sums[step_sizes == 0] = 0.0
+        per_step = sums.tolist()
+        # Same trick one level up: per-trace totals are sequential sums of
+        # the per-step rows, reproducing the reference loop's association
+        # (total = ((s0 + s1) + s2)...) bit for bit.
+        trace_ends = np.cumsum(trace_steps)
+        trace_starts = trace_ends - trace_steps
+        padded_sums = np.vstack([sums, np.zeros((1, sums.shape[1]))])
+        totals = np.add.reduceat(padded_sums, trace_starts, axis=0)
+        totals[trace_steps == 0] = 0.0
+        per_trace = totals.tolist()
+    else:
+        per_step = []
+        per_trace = [[0.0] * stacked.shape[1] for _ in trace_steps]
+
+    start_list = starts.tolist()
+    end_list = ends.tolist()
+    results: list[list[SimulationReport]] = []
+    global_step = 0
+    global_trace = 0
+    for config_idx, (config, traces) in enumerate(entries):
+        reports = []
+        for trace_idx, trace in enumerate(traces):
+            num_steps = len(trace)
+            seg_starts = start_list[global_step : global_step + num_steps]
+            seg_ends = end_list[global_step : global_step + num_steps]
+            step_results = [
+                StepResult(
+                    time_step,
+                    row[0],
+                    EnergyBreakdown(*row[1:]),
+                    layer_results[seg_starts[time_step] : seg_ends[time_step]],
+                )
+                for time_step, row in enumerate(per_step[global_step : global_step + num_steps])
+            ]
+            global_step += num_steps
+            totals_row = per_trace[global_trace]
+            global_trace += 1
+            trace_stats = detector_by_pair.get((config_idx, trace_idx))
+            reports.append(
+                SimulationReport(
+                    config_name=config.name,
+                    total_cycles=totals_row[0],
+                    total_energy=EnergyBreakdown(*totals_row[1:]),
+                    step_results=step_results,
+                    clock_ghz=config.clock_ghz,
+                    detector_stats=trace_stats if trace_stats is not None else DetectorStats(),
+                )
+            )
+        results.append(reports)
+    return results
 
 
 class VectorizedBackend:
@@ -63,70 +521,15 @@ class VectorizedBackend:
         self.config = config
         self.energy_table = energy_table or DEFAULT_ENERGY_TABLE
         self.detector_stats = DetectorStats()
-        # Hop counts per PE, in controller dispatch order (DPEs then SPEs),
-        # taken from the same NoC topology the reference backend charges.
-        noc = InterconnectNetwork(config, self.energy_table)
-        pe_order = [f"dpe{i}" for i in range(config.num_dpe)] + [
-            f"spe{i}" for i in range(config.num_spe)
-        ]
-        self._hops = np.array([noc.hops_to(name) for name in pe_order], dtype=np.float64)
 
     def reset(self) -> None:
         self.detector_stats.reset()
-
-    # -- classification schedule ---------------------------------------------------
-
-    def _classification_sources(self, entries: list[tuple[int, int, ConvLayerWorkload]]) -> np.ndarray:
-        """For each entry, the entry index whose sparsity sets its dense/sparse split.
-
-        Mirrors :class:`TemporalSparsityDetector`: a layer's classification is
-        refreshed when first seen and whenever ``update_period`` time steps
-        have elapsed since its last refresh; between refreshes the stale
-        channel grouping (computed from the refresh step's sparsity) is reused
-        while the *current* sparsity still drives the datapath work.  Each
-        trace of a batch carries its own detector state — classifications
-        never leak across traces, so batched results match per-trace runs.
-        """
-        source = np.arange(len(entries), dtype=np.int64)
-        period = self.config.sparsity_update_period
-        last_update: dict[tuple[int, str], tuple[int, int]] = {}
-        updates = 0
-        channels_evaluated = 0
-        for index, (trace_idx, time_step, workload) in enumerate(entries):
-            previous = last_update.get((trace_idx, workload.name))
-            if previous is None or time_step - previous[0] >= period:
-                last_update[(trace_idx, workload.name)] = (time_step, index)
-                updates += 1
-                channels_evaluated += workload.in_channels
-            else:
-                source[index] = previous[1]
-        self.detector_stats.updates_performed = updates
-        self.detector_stats.channels_evaluated = channels_evaluated
-        return source
-
-    # -- trace execution ---------------------------------------------------------
 
     def run_trace(self, trace: "list[list[ConvLayerWorkload]]"):
         """Execute a full multi-time-step workload trace."""
         return self.run_traces([trace])[0]
 
-    def _zero_report(self, trace: "list[list[ConvLayerWorkload]]"):
-        from ..simulator import SimulationReport, StepResult
-
-        return SimulationReport(
-            config_name=self.config.name,
-            total_cycles=0.0,
-            total_energy=EnergyBreakdown(),
-            step_results=[
-                StepResult(time_step=t, cycles=0.0, energy=EnergyBreakdown())
-                for t in range(len(trace))
-            ],
-            clock_ghz=self.config.clock_ghz,
-        )
-
-    def run_traces(
-        self, traces: "list[list[list[ConvLayerWorkload]]]"
-    ) -> "list":
+    def run_traces(self, traces: "list[list[list[ConvLayerWorkload]]]") -> "list":
         """Execute several traces on this configuration in one batched pass.
 
         The cross-trace entry point behind fleet sweeps: all (trace, time
@@ -137,272 +540,18 @@ class VectorizedBackend:
         per-entry math is row-independent and each trace keeps its own
         detector schedule — and :attr:`detector_stats` holds the batch totals.
         """
-        from ..controller import LayerExecutionResult
-        from ..simulator import SimulationReport, StepResult
+        return self.run_config_traces([(self.config, traces)])[0]
 
+    def run_config_traces(
+        self, entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]"
+    ) -> "list[list]":
+        """Execute a ``(config x trace)`` batch in one cross-config pass.
+
+        See the module-level :func:`run_config_traces`; this instance method
+        additionally records the whole batch's detector totals on
+        :attr:`detector_stats`.  The backend's own configuration does not
+        constrain the batch — every entry carries its config — but all
+        entries share this backend's energy table.
+        """
         self.reset()
-        entries = [
-            (trace_idx, t, w)
-            for trace_idx, trace in enumerate(traces)
-            for t, workloads in enumerate(trace)
-            for w in workloads
-        ]
-        num_entries = len(entries)
-        if num_entries == 0:
-            return [self._zero_report(trace) for trace in traces]
-
-        config = self.config
-        table = self.energy_table
-        num_dpe, num_spe = config.num_dpe, config.num_spe
-
-        # --- per-entry scalar arrays ------------------------------------------
-        # One pass over the workloads extracts the raw geometry; every derived
-        # quantity (footprints, MAC counts) is then computed as array math,
-        # reproducing the ConvLayerWorkload formulas exactly (integer-valued
-        # float64 products are exact well past these magnitudes).
-        workloads = [w for _, _, w in entries]
-        raw = np.array(
-            [
-                (w.in_channels, w.out_channels, w.kernel_size, w.out_height, w.out_width,
-                 w.weight_bits, w.act_bits)
-                for w in workloads
-            ],
-            dtype=np.float64,
-        )
-        in_channels = raw[:, 0].astype(np.int64)
-        out_channels = raw[:, 1]
-        kernel_sq = raw[:, 2] * raw[:, 2]
-        spatial = raw[:, 3] * raw[:, 4]
-        weight_bits = raw[:, 5]
-        act_bits = raw[:, 6]
-        op_bits = np.maximum(weight_bits, act_bits).astype(np.int64)
-        macs_per_channel = out_channels * kernel_sq * spatial
-        weight_bytes_total = out_channels * raw[:, 0] * kernel_sq * weight_bits / 8.0
-        output_bytes = out_channels * spatial * act_bits / 8.0
-        input_bytes_full = raw[:, 0] * spatial * act_bits / 8.0
-        total_macs = raw[:, 0] * macs_per_channel
-        channels_div = np.maximum(raw[:, 0], 1.0)
-
-        # MAC energy and lane packing per entry (few distinct precisions).
-        mac_energy = np.empty(num_entries, dtype=np.float64)
-        packing = np.empty(num_entries, dtype=np.float64)
-        for bits in np.unique(op_bits):
-            selected = op_bits == bits
-            mac_energy[selected] = table.mac_energy(int(bits))
-            packing[selected] = max(16.0 / float(bits), 1.0)
-        dense_throughput = config.pe.multipliers * packing
-        sparse_throughput = dense_throughput * config.pe.sparse_utilization
-        pipeline_overhead = float(config.pe.pipeline_overhead_cycles)
-
-        # --- padded channel-sparsity matrices ---------------------------------
-        max_channels = max(1, int(in_channels.max()))
-        sparsity_now = np.zeros((num_entries, max_channels), dtype=np.float64)
-        for row, workload in enumerate(workloads):
-            sparsity_now[row, : workload.in_channels] = workload.channel_sparsity
-        valid = np.arange(max_channels)[None, :] < in_channels[:, None]
-
-        if num_spe == 0:
-            threshold = _ALL_DENSE_THRESHOLD
-            sparsity_src = sparsity_now
-        elif num_dpe == 0:
-            threshold = _ALL_SPARSE_THRESHOLD
-            sparsity_src = sparsity_now
-        else:
-            threshold = config.sparsity_threshold
-            sparsity_src = sparsity_now[self._classification_sources(entries)]
-
-        sparse_mask = (sparsity_src >= threshold) & valid
-        dense_mask = valid & ~sparse_mask
-        num_dense = dense_mask.sum(axis=1)
-        num_sparse = sparse_mask.sum(axis=1)
-
-        # --- dense PE chunks --------------------------------------------------
-        if num_dpe:
-            dense_counts = _chunk_counts(num_dense, num_dpe).astype(np.float64)
-            dense_macs = dense_counts * macs_per_channel[:, None]
-            dense_cycles_pe = dense_macs / dense_throughput[:, None] + pipeline_overhead * (
-                dense_macs > 0
-            )
-            dense_input_bytes = dense_counts * spatial[:, None] * act_bits[:, None] / 8.0
-            dense_weight_bytes = weight_bytes_total[:, None] * (
-                dense_counts / channels_div[:, None]
-            )
-            dense_cycles = dense_cycles_pe.max(axis=1)
-        else:
-            dense_counts = np.zeros((num_entries, 0))
-            dense_macs = dense_cycles_pe = dense_input_bytes = dense_weight_bytes = dense_counts
-            dense_cycles = np.zeros(num_entries)
-
-        # --- sparse PE chunks -------------------------------------------------
-        if num_spe:
-            # Densities of the sparse channels, compacted to the front of each
-            # row in ascending channel order (matching np.flatnonzero), so
-            # array_split chunk sums become prefix-sum differences.
-            sparse_density = np.where(sparse_mask, 1.0 - sparsity_now, 0.0)
-            front_order = np.argsort(~sparse_mask, axis=1, kind="stable")
-            compacted = np.take_along_axis(sparse_density, front_order, axis=1)
-            prefix = np.zeros((num_entries, max_channels + 1), dtype=np.float64)
-            np.cumsum(compacted, axis=1, out=prefix[:, 1:])
-
-            sparse_counts = _chunk_counts(num_sparse, num_spe)
-            chunk_ends = np.cumsum(sparse_counts, axis=1)
-            chunk_starts = chunk_ends - sparse_counts
-            density_sums = np.take_along_axis(prefix, chunk_ends, axis=1) - np.take_along_axis(
-                prefix, chunk_starts, axis=1
-            )
-            sparse_counts = sparse_counts.astype(np.float64)
-
-            sparse_group_macs = sparse_counts * macs_per_channel[:, None]
-            nonzero_fraction = np.divide(
-                density_sums,
-                sparse_counts,
-                out=np.zeros_like(density_sums),
-                where=sparse_counts > 0,
-            )
-            effective_macs = sparse_group_macs * nonzero_fraction
-            sparse_cycles_pe = (
-                effective_macs / sparse_throughput[:, None]
-                + effective_macs / 1024.0 * config.pe.sparse_overhead_per_kmac
-                + pipeline_overhead * (sparse_group_macs > 0)
-            )
-            sparse_input_bytes = (
-                density_sums * spatial[:, None] * act_bits[:, None] / 8.0
-                + sparse_counts * spatial[:, None] / 8.0
-            )
-            sparse_weight_bytes = weight_bytes_total[:, None] * (
-                sparse_counts / channels_div[:, None]
-            )
-            sparse_cycles = sparse_cycles_pe.max(axis=1)
-        else:
-            empty = np.zeros((num_entries, 0))
-            sparse_group_macs = effective_macs = sparse_cycles_pe = empty
-            sparse_input_bytes = sparse_weight_bytes = empty
-            sparse_cycles = np.zeros(num_entries)
-
-        # --- per-entry roll-ups -----------------------------------------------
-        executed_dense = dense_macs.sum(axis=1)
-        executed_sparse = effective_macs.sum(axis=1)
-        executed = executed_dense + executed_sparse
-
-        # Per-PE GLB<->PE traffic (operands + partial-sum writeback), in
-        # controller dispatch order so NoC hop counts line up.
-        pe_bytes = np.concatenate(
-            [
-                dense_input_bytes + dense_weight_bytes + output_bytes[:, None],
-                sparse_input_bytes + sparse_weight_bytes + output_bytes[:, None],
-            ],
-            axis=1,
-        )
-        glb_bytes = pe_bytes.sum(axis=1)
-        noc_cycles = pe_bytes.max(axis=1) / config.noc_bandwidth_bytes_per_cycle
-        noc_pj = (pe_bytes * self._hops[None, :]).sum(axis=1) * table.noc_pj_per_byte_hop
-
-        mac_pj = executed * mac_energy
-        local_buffer_pj = glb_bytes * table.local_buffer_pj_per_byte
-        global_buffer_pj = glb_bytes * table.global_buffer_pj_per_byte
-        idle_pj = (
-            dense_cycles_pe.sum(axis=1) + sparse_cycles_pe.sum(axis=1)
-        ) * table.idle_pj_per_cycle_per_pe
-        detector_pj = (num_dpe + num_spe) * out_channels * table.detector_pj_per_channel
-
-        working_set = weight_bytes_total + input_bytes_full + output_bytes
-        capacity = float(config.global_buffer_kib * 1024)
-        dram_pj = np.where(working_set > capacity, working_set - capacity, 0.0) * (
-            table.dram_pj_per_byte
-        )
-
-        compute_cycles = np.maximum(dense_cycles, sparse_cycles)
-        layer_cycles = np.maximum(compute_cycles, noc_cycles)
-
-        # --- report assembly --------------------------------------------------
-        # Bulk-convert to Python scalars once; per-element float() casts in the
-        # construction loop would dominate the backend's runtime.
-        energy_columns = [
-            mac_pj,
-            local_buffer_pj,
-            global_buffer_pj,
-            dram_pj,
-            noc_pj,
-            detector_pj,
-            idle_pj,
-        ]
-        per_layer = list(
-            zip(
-                layer_cycles.tolist(),
-                total_macs.tolist(),
-                executed.tolist(),
-                num_dense.tolist(),
-                num_sparse.tolist(),
-                dense_cycles.tolist(),
-                sparse_cycles.tolist(),
-                *[column.tolist() for column in energy_columns],
-            )
-        )
-        layer_results = [
-            LayerExecutionResult(
-                layer_name=workloads[i].name,
-                cycles=row[0],
-                energy=EnergyBreakdown(*row[7:]),
-                total_macs=row[1],
-                executed_macs=row[2],
-                dense_channels=row[3],
-                sparse_channels=row[4],
-                dense_cycles=row[5],
-                sparse_cycles=row[6],
-            )
-            for i, row in enumerate(per_layer)
-        ]
-
-        # Step boundaries in the flattened (trace-major) entry order;
-        # exclusive-prefix sums handle empty steps without special cases.
-        # The cumsum is zero-based per trace segment so every per-step sum is
-        # the same float operation sequence as a single-trace run — batched
-        # reports are bit-identical, not merely close.
-        step_sizes = np.array(
-            [len(step) for trace in traces for step in trace], dtype=np.int64
-        )
-        ends = np.cumsum(step_sizes)
-        starts = ends - step_sizes
-        stacked = np.column_stack([layer_cycles, *energy_columns])
-        per_step: list[list[float]] = []
-        step_cursor = 0
-        for trace in traces:
-            num_steps = len(trace)
-            seg_start = int(starts[step_cursor]) if num_steps else 0
-            seg_end = int(ends[step_cursor + num_steps - 1]) if num_steps else 0
-            segment = stacked[seg_start:seg_end]
-            seg_prefix = np.zeros((segment.shape[0] + 1, stacked.shape[1]), dtype=np.float64)
-            np.cumsum(segment, axis=0, out=seg_prefix[1:])
-            seg_ends = ends[step_cursor : step_cursor + num_steps] - seg_start
-            seg_starts = starts[step_cursor : step_cursor + num_steps] - seg_start
-            per_step.extend((seg_prefix[seg_ends] - seg_prefix[seg_starts]).tolist())
-            step_cursor += num_steps
-
-        reports = []
-        global_step = 0
-        for trace in traces:
-            step_results = []
-            total_energy = EnergyBreakdown()
-            total_cycles = 0.0
-            for time_step in range(len(trace)):
-                row = per_step[global_step]
-                step = StepResult(
-                    time_step=time_step,
-                    cycles=row[0],
-                    energy=EnergyBreakdown(*row[1:]),
-                    layer_results=layer_results[starts[global_step] : ends[global_step]],
-                )
-                step_results.append(step)
-                total_cycles += step.cycles
-                total_energy = total_energy + step.energy
-                global_step += 1
-            reports.append(
-                SimulationReport(
-                    config_name=config.name,
-                    total_cycles=total_cycles,
-                    total_energy=total_energy,
-                    step_results=step_results,
-                    clock_ghz=config.clock_ghz,
-                )
-            )
-        return reports
+        return run_config_traces(entries, self.energy_table, batch_stats=self.detector_stats)

@@ -29,6 +29,8 @@ from .controller import AcceleratorController, LayerExecutionResult
 from .energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
 from .workload import ConvLayerWorkload
 
+from .backends.base import DetectorStats
+
 if TYPE_CHECKING:  # pragma: no cover - the backends package imports us lazily
     from .backends import SimulationBackend
 
@@ -89,6 +91,12 @@ class SimulationReport:
     total_energy: EnergyBreakdown
     step_results: list[StepResult] = field(default_factory=list)
     clock_ghz: float = 1.0
+    #: Temporal-sparsity-detector activity attributed to *this* run — unlike
+    #: the backend instance's mutable batch totals, this survives caching and
+    #: stays correct when the report came out of a multi-trace or
+    #: cross-config batch.  ``None`` only on reports decoded from artifacts
+    #: written before the field existed.
+    detector_stats: DetectorStats | None = None
 
     @property
     def total_time_ms(self) -> float:
@@ -229,6 +237,29 @@ class AcceleratorSimulator:
         if run_traces is not None:
             return run_traces(traces)
         return [self.backend.run_trace(trace) for trace in traces]
+
+    def run_config_traces(
+        self, entries: "list[tuple[AcceleratorConfig, list[WorkloadTrace]]]"
+    ) -> list[list[SimulationReport]]:
+        """Execute a ``(config x trace)`` batch, one report list per entry.
+
+        The cross-config sweep fast path: on the vectorized backend the whole
+        batch — every configuration with its traces — is one fused NumPy
+        pass, with per-config scalars stacked into entry-aligned arrays.  The
+        simulator's own configuration does not constrain the batch (each
+        entry carries its config), but all entries share this simulator's
+        energy table.  Backends without the batched entry point fall back to
+        a per-config loop.
+        """
+        run_config_traces = getattr(self.backend, "run_config_traces", None)
+        if run_config_traces is not None:
+            return run_config_traces(entries)
+        return [
+            AcceleratorSimulator(config, self.energy_table, backend=self.backend.name).run_traces(
+                traces
+            )
+            for config, traces in entries
+        ]
 
 
 @dataclass

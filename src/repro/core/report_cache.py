@@ -99,6 +99,39 @@ def fingerprint_trace(trace: WorkloadTrace) -> str:
     return digest.hexdigest()
 
 
+#: Identity-keyed memo of trace fingerprints: ``id(trace) -> (trace, digest)``.
+#: Server-planned sweeps build one :class:`SimulationRequest` per grid point,
+#: all sharing the *same* trace object — without the memo each request
+#: re-hashes the identical trace (sha256 over every sparsity array).  Traces
+#: are plain lists (not weakref-able), so the memo holds strong references in
+#: a small LRU; the stored trace doubles as the id-reuse guard (a hit only
+#: counts when the stored object *is* the argument).
+_TRACE_FP_MEMO: OrderedDict[int, tuple[WorkloadTrace, str]] = OrderedDict()
+_TRACE_FP_MEMO_MAX = 64
+_TRACE_FP_MEMO_LOCK = threading.Lock()
+
+
+def memoized_fingerprint_trace(trace: WorkloadTrace) -> str:
+    """``fingerprint_trace`` with an identity-keyed memo for repeated objects.
+
+    Correct only under the simulator's existing contract that traces are not
+    mutated after submission (the report cache already relies on this).
+    """
+    memo_key = id(trace)
+    with _TRACE_FP_MEMO_LOCK:
+        entry = _TRACE_FP_MEMO.get(memo_key)
+        if entry is not None and entry[0] is trace:
+            _TRACE_FP_MEMO.move_to_end(memo_key)
+            return entry[1]
+    digest = fingerprint_trace(trace)
+    with _TRACE_FP_MEMO_LOCK:
+        _TRACE_FP_MEMO[memo_key] = (trace, digest)
+        _TRACE_FP_MEMO.move_to_end(memo_key)
+        while len(_TRACE_FP_MEMO) > _TRACE_FP_MEMO_MAX:
+            _TRACE_FP_MEMO.popitem(last=False)
+    return digest
+
+
 def artifact_key_for(key: CacheKey) -> str:
     """Content-address of one cache key in the persistent artifact store."""
     return ArtifactStore.key_for(*key)
@@ -181,7 +214,7 @@ class ReportCache:
         return (
             fingerprint_config(config),
             fingerprint_energy_table(energy_table or DEFAULT_ENERGY_TABLE),
-            fingerprint_trace(trace),
+            memoized_fingerprint_trace(trace),
             resolve_backend_name(backend),
         )
 

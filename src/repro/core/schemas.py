@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from ..accelerator.backends.base import DetectorStats
 from ..accelerator.config import AcceleratorConfig, PEConfig
 from ..accelerator.controller import LayerExecutionResult
 from ..accelerator.energy import EnergyBreakdown, EnergyTable
@@ -57,9 +58,7 @@ register_dataclass(ConvLayerWorkload, "conv_layer_workload")
 
 
 def _encode_trace(trace: Any, ctx: Encoder) -> dict:
-    return {
-        "steps": [[ctx.encode(workload) for workload in workloads] for workloads in trace]
-    }
+    return {"steps": [[ctx.encode(workload) for workload in workloads] for workloads in trace]}
 
 
 def _decode_trace(doc: Mapping[str, Any], ctx: Decoder) -> list[list[ConvLayerWorkload]]:
@@ -88,6 +87,7 @@ register_dataclass(EnergyBreakdown, "energy_breakdown")
 register_dataclass(ChannelGroupResult, "channel_group_result")
 register_dataclass(LayerExecutionResult, "layer_execution_result")
 register_dataclass(StepResult, "step_result")
+register_dataclass(DetectorStats, "detector_stats")
 register_dataclass(SimulationReport, "simulation_report")
 
 # -- pipeline evaluations ----------------------------------------------------------

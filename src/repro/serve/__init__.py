@@ -8,10 +8,11 @@ traffic*, not as one script.  This package provides the service layer:
     The job model — submit / status / result with thread-safe completion
     events.
 ``repro.serve.scheduler``
-    Request coalescing: queued simulation requests sharing an
-    :class:`~repro.accelerator.config.AcceleratorConfig` are fused into one
-    :meth:`VectorizedBackend.run_traces` cross-trace batched pass, behind the
-    two-tier report cache.
+    Request coalescing: queued simulation requests sharing an energy table
+    and backend are fused into one batched pass — cross-trace
+    (:meth:`VectorizedBackend.run_traces`) for a single configuration,
+    cross-config (:meth:`VectorizedBackend.run_config_traces`) for a whole
+    sweep grid — behind the two-tier report cache.
 ``repro.serve.service``
     :class:`EvaluationService` — the job queue itself: a coalescing scheduler
     thread, a thread pool for simulation-bound work (NumPy releases the GIL)
@@ -59,7 +60,7 @@ from ..core.execution import (
 from .client import RemoteEvaluationClient, RemoteJob, RemoteServiceError
 from .http import EvaluationHTTPServer, start_http_server
 from .jobs import Job, JobFailedError, JobKind, JobStatus
-from .scheduler import SimulationRequest, coalesce_requests, run_batched
+from .scheduler import BatchStats, SimulationRequest, coalesce_requests, run_batched
 from .service import EvaluationService
 from .specs import (
     CallableJobSpec,
@@ -71,6 +72,7 @@ from .specs import (
 )
 
 __all__ = [
+    "BatchStats",
     "CallableJobSpec",
     "EvaluationHTTPServer",
     "EvaluationService",

@@ -24,6 +24,9 @@ reports instead of recomputing them:
     (:mod:`repro.serve.http`) until interrupted.
 ``repro cache``
     Inspect, wipe, evict from, or migrate the artifact store.
+``repro bench``
+    Measure simulation/sweep/service throughput (:mod:`repro.core.bench`),
+    optionally gating against a committed ``BENCH_<n>.json`` baseline.
 
 Every command accepts ``--artifact-dir`` (default: the ``REPRO_ARTIFACT_DIR``
 environment variable) and ``--json`` to write machine-readable results for CI.
@@ -532,6 +535,65 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- repro bench ----------------------------------------------------------------
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from ..analysis.tables import format_table
+    from ..core.bench import compare_to_baseline, load_baseline, run_bench
+
+    result = run_bench(quick=args.quick, seed=args.seed)
+    payload = result.as_dict()
+
+    units = {
+        "calibration_score": "(machine-speed proxy)",
+        "sim_entries_per_sec": "entries/s",
+        "sweep_wall_clock_s": "s",
+        "per_config_sweep_wall_clock_s": "s",
+        "cross_config_speedup": "x",
+        "service_jobs_per_sec": "jobs/s",
+        "sim_entries_per_calib": "entries/s, calibrated",
+        "sweep_wall_clock_calib": "s, calibrated",
+    }
+    mode = "quick" if args.quick else "full"
+    print(
+        format_table(
+            ["Metric", "Value", "Unit"],
+            [
+                [name, f"{value:.4g}", units.get(name, "")]
+                for name, value in result.metrics.items()
+            ],
+            title=f"repro bench ({mode} mode)",
+        )
+    )
+
+    exit_code = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        findings = compare_to_baseline(payload, baseline, tolerance=args.tolerance)
+        if findings:
+            print(
+                f"regression vs {args.baseline} (tolerance {args.tolerance:.0%}):",
+                file=sys.stderr,
+            )
+            for finding in findings:
+                print(f"  {finding.describe()}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"no regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
+        payload["baseline"] = {
+            "path": args.baseline,
+            "tolerance": args.tolerance,
+            "regressions": [finding.describe() for finding in findings],
+        }
+    _write_json(args.json_path, payload)
+    return exit_code
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -658,6 +720,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_args(cache)
     cache.set_defaults(fn=_cmd_cache)
+
+    bench = sub.add_parser(
+        "bench", help="measure simulation/sweep/service throughput and gate regressions"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fixed workload for CI gates (full mode is the default and "
+        "uses a larger grid with more repeats)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_<n>.json to gate against (exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed bad-direction drift on gated metrics (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the benchmark payload (BENCH_<n>.json schema) to PATH",
+    )
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -1,22 +1,29 @@
 """Coalescing scheduler: fuse queued simulation requests into batched passes.
 
-A fleet sweep produces many :class:`SimulationRequest`\\ s, most of which
-share an accelerator configuration (the same SQ-DM design point evaluated on
-many traces, or shared FP16/dense baselines).  :func:`run_batched` is the
-functional core the evaluation service and the pipeline both use:
+A fleet sweep produces many :class:`SimulationRequest`\\ s — typically a grid
+of accelerator configurations evaluated on a shared trace set, plus repeated
+FP16/dense baselines.  :func:`run_batched` is the functional core the
+evaluation service and the pipeline both use:
 
 1. deduplicate requests by cache key and look each unique key up in the
    two-tier :class:`~repro.core.report_cache.ReportCache`;
-2. group the misses by (config, energy table, backend) fingerprint and
-   dispatch each group through one
-   :meth:`~repro.accelerator.simulator.AcceleratorSimulator.run_traces` call —
-   on the vectorized backend that is a single cross-trace batched NumPy pass;
+2. group the misses into *compatibility groups* — requests sharing an energy
+   table and backend, regardless of configuration — and dispatch each group
+   through one batched simulator call: single-config groups take the
+   cross-trace ``run_traces`` fast path, multi-config groups on the
+   vectorized backend fuse into one cross-config ``run_config_traces``
+   NumPy pass covering the whole (config x trace) grid;
 3. insert the fresh reports into both cache tiers and return everything in
    request order.
+
+Pass a :class:`BatchStats` to observe how the scheduler carved a workload
+into kernel calls (the service exposes this as ``service_stats()`` ->
+``"scheduler"``).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..accelerator.config import AcceleratorConfig
@@ -43,32 +50,90 @@ class SimulationRequest:
         return self._key
 
 
+@dataclass
+class BatchStats:
+    """How the scheduler carved a request stream into simulation kernel calls.
+
+    Counters accumulate across :func:`run_batched` calls (the service feeds
+    every dispatch into one instance); updates are lock-protected, so one
+    instance can be shared by the service's worker threads.
+    """
+
+    #: Batched simulator invocations: one per compatibility group that had
+    #: at least one cache miss (``run_traces`` or ``run_config_traces``).
+    kernel_calls: int = 0
+    #: Kernel calls that fused several configurations into one pass.
+    cross_config_calls: int = 0
+    #: Kernel calls that took the single-config ``run_traces`` fast path.
+    single_config_calls: int = 0
+    #: Distinct (config, group) pairs simulated, summed over kernel calls.
+    configs_simulated: int = 0
+    #: Traces simulated (cache misses actually executed).
+    traces_simulated: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record_group(self, num_configs: int, num_traces: int) -> None:
+        with self._lock:
+            self.kernel_calls += 1
+            if num_configs > 1:
+                self.cross_config_calls += 1
+            else:
+                self.single_config_calls += 1
+            self.configs_simulated += num_configs
+            self.traces_simulated += num_traces
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "kernel_calls": self.kernel_calls,
+                "cross_config_calls": self.cross_config_calls,
+                "single_config_calls": self.single_config_calls,
+                "configs_simulated": self.configs_simulated,
+                "traces_simulated": self.traces_simulated,
+            }
+
+
 def coalesce_requests(
     requests: list[SimulationRequest],
 ) -> list[list[SimulationRequest]]:
-    """Group requests that can share one batched ``run_traces`` call.
+    """Group requests that can share one batched simulation pass.
 
-    Requests coalesce when their config, energy table and backend
-    fingerprints all match; within a group, duplicate traces are kept (the
-    cache layer deduplicates them before simulation).  Groups come back in
-    first-seen order, so dispatch stays deterministic.
+    Requests coalesce into a *compatibility group* when their energy-table
+    and backend fingerprints match — configurations may differ, because the
+    cross-config kernel stacks per-config scalars into arrays.  (Configs with
+    different energy tables or backend overrides still land in separate
+    groups, today's behavior.)  Within a group, duplicate traces are kept
+    (the cache layer deduplicates them before simulation).  Groups come back
+    in first-seen order, so dispatch stays deterministic.
     """
-    groups: dict[tuple[str, str, str], list[SimulationRequest]] = {}
+    groups: dict[tuple[str, str], list[SimulationRequest]] = {}
     for request in requests:
-        config_fp, energy_fp, _, backend_name = request.key()
-        groups.setdefault((config_fp, energy_fp, backend_name), []).append(request)
+        _, energy_fp, _, backend_name = request.key()
+        groups.setdefault((energy_fp, backend_name), []).append(request)
     return list(groups.values())
+
+
+def _config_partitions(
+    group: list[SimulationRequest],
+) -> list[list[SimulationRequest]]:
+    """Split a compatibility group by config fingerprint, first-seen order."""
+    partitions: dict[str, list[SimulationRequest]] = {}
+    for request in group:
+        partitions.setdefault(request.key()[0], []).append(request)
+    return list(partitions.values())
 
 
 def run_batched(
     requests: list[SimulationRequest],
     cache: ReportCache | None = None,
+    stats: BatchStats | None = None,
 ) -> list[SimulationReport]:
     """Serve simulation requests through the cache, batching the misses.
 
     Returns one report per request, in request order.  Every unique key costs
     at most one cache lookup and (on a miss) exactly one simulated trace;
-    misses sharing a configuration run as a single cross-trace batched pass.
+    misses sharing an energy table and backend run as a single batched pass —
+    cross-config on the vectorized backend, per-config otherwise.
     """
     # Explicit None check: an empty ReportCache is falsy (it has __len__).
     cache = DEFAULT_REPORT_CACHE if cache is None else cache
@@ -88,13 +153,24 @@ def run_batched(
             pending.append(request)
 
     for group in coalesce_requests(pending):
-        batch = group
-        first = batch[0]
-        simulator = AcceleratorSimulator(
-            first.config, first.energy_table, backend=first.backend
-        )
-        batch_reports = simulator.run_traces([request.trace for request in batch])
-        for request, report in zip(batch, batch_reports):
-            reports[request.key()] = cache.insert_key(request.key(), report)
+        partitions = _config_partitions(group)
+        first = group[0]
+        simulator = AcceleratorSimulator(first.config, first.energy_table, backend=first.backend)
+        if len(partitions) == 1:
+            # Single configuration: the established cross-trace fast path.
+            batch = partitions[0]
+            batch_reports = [simulator.run_traces([request.trace for request in batch])]
+        else:
+            batch_reports = simulator.run_config_traces(
+                [
+                    (partition[0].config, [request.trace for request in partition])
+                    for partition in partitions
+                ]
+            )
+        if stats is not None:
+            stats.record_group(num_configs=len(partitions), num_traces=len(group))
+        for partition, partition_reports in zip(partitions, batch_reports):
+            for request, report in zip(partition, partition_reports):
+                reports[request.key()] = cache.insert_key(request.key(), report)
 
     return [reports[request.key()] for request in requests]

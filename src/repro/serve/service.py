@@ -49,7 +49,7 @@ from ..accelerator.simulator import WorkloadTrace
 from ..core.execution import ensure_picklable
 from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
 from .jobs import Job, JobKind, JobStatus
-from .scheduler import SimulationRequest, coalesce_requests, run_batched
+from .scheduler import BatchStats, SimulationRequest, coalesce_requests, run_batched
 from .specs import (
     CallableJobSpec,
     QualityJobSpec,
@@ -189,6 +189,9 @@ class EvaluationService:
         self._inflight_lock = threading.Lock()
         self.coalesced_attached = 0
         self.cancelled_count = 0
+        #: How the scheduler carved the simulation traffic into kernel calls
+        #: (shared across worker threads; see ``service_stats()["scheduler"]``).
+        self.batch_stats = BatchStats()
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
         )
@@ -399,6 +402,7 @@ class EvaluationService:
             "inflight_keys": inflight,
             "cancelled": self.cancelled_count,
             "closed": closed,
+            "scheduler": self.batch_stats.as_dict(),
         }
 
     def wait_all(self, jobs: Iterable[Job] | None = None, timeout: float | None = None) -> bool:
@@ -502,7 +506,7 @@ class EvaluationService:
         if not live_requests:
             return
         try:
-            reports = run_batched(live_requests, cache=self.cache)
+            reports = run_batched(live_requests, cache=self.cache, stats=self.batch_stats)
         except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
             self._finish_group(live_sinks, live_requests, error=exc)
             return

@@ -183,6 +183,168 @@ class TestVectorizedEquivalence:
         assert second.total_energy.total_pj == first.total_energy.total_pj
 
 
+class TestCrossConfigBatching:
+    """The cross-config kernel: one NumPy pass over a (config x trace) grid."""
+
+    GRID = [
+        sqdm_config(),
+        dense_baseline_config(),  # num_spe == 0: detector bypassed, all dense
+        AcceleratorConfig(name="all_sparse", num_dpe=0, num_spe=2),
+        AcceleratorConfig(name="wide", num_dpe=3, num_spe=2),
+        sqdm_config(sparsity_update_period=3),
+        sqdm_config(sparsity_threshold=0.7),
+    ]
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_randomized_grid_matches_reference(self, trial):
+        """Property-style: a batched (config x trace) grid stays within 1e-9
+        of per-pair reference runs, including both degenerate datapaths."""
+        rng = np.random.default_rng(4242 + trial)
+        traces = [
+            random_trace(rng, steps=int(rng.integers(1, 4)), layers=int(rng.integers(1, 4)))
+            for _ in range(3)
+        ]
+        entries = [(config, traces) for config in self.GRID]
+        batched = AcceleratorSimulator(self.GRID[0]).run_config_traces(entries)
+        assert [len(reports) for reports in batched] == [3] * len(self.GRID)
+        for config, reports in zip(self.GRID, batched):
+            for trace, report in zip(traces, reports):
+                ref = AcceleratorSimulator(config, backend="reference").run_trace(trace)
+                assert_reports_equivalent(ref, report)
+
+    def test_batched_bit_identical_to_solo_vectorized(self):
+        """Batching across configs must not change a single bit of any report:
+        the per-config scalar gather, padded PE axes, and the vectorized
+        sparsity fill all reproduce the solo pass exactly (not just to rtol)."""
+        rng = np.random.default_rng(7)
+        traces = [random_trace(rng, steps=2, layers=2) for _ in range(2)]
+        entries = [(config, traces) for config in self.GRID]
+        batched = AcceleratorSimulator(self.GRID[0]).run_config_traces(entries)
+        for config, reports in zip(self.GRID, batched):
+            for trace, report in zip(traces, reports):
+                solo = AcceleratorSimulator(config).run_trace(trace)
+                assert report.total_cycles == solo.total_cycles
+                assert report.total_energy.as_dict() == solo.total_energy.as_dict()
+                for batched_step, solo_step in zip(report.step_results, solo.step_results):
+                    assert batched_step.cycles == solo_step.cycles
+                    assert batched_step.energy.as_dict() == solo_step.energy.as_dict()
+                    for batched_layer, solo_layer in zip(
+                        batched_step.layer_results, solo_step.layer_results
+                    ):
+                        assert batched_layer.cycles == solo_layer.cycles
+                        assert batched_layer.executed_macs == solo_layer.executed_macs
+
+    def test_empty_and_uneven_trace_lists_in_batch(self):
+        """Entries with zero traces, empty traces, and different trace counts
+        coexist in one batch without perturbing their neighbours."""
+        rng = np.random.default_rng(11)
+        trace = random_trace(rng, steps=2, layers=1)
+        entries = [
+            (sqdm_config(), []),
+            (dense_baseline_config(), [[], trace]),
+            (sqdm_config(sparsity_threshold=0.7), [trace, [[]], []]),
+        ]
+        batched = AcceleratorSimulator(sqdm_config()).run_config_traces(entries)
+        assert [len(reports) for reports in batched] == [0, 2, 3]
+        assert batched[1][0].total_cycles == 0.0 and batched[1][0].step_results == []
+        assert len(batched[2][1].step_results) == 1  # one empty step survives
+        for config, index in ((dense_baseline_config(), 1), (sqdm_config(sparsity_threshold=0.7), 0)):
+            solo = AcceleratorSimulator(config).run_trace(trace)
+            report = batched[1][1] if index == 1 else batched[2][0]
+            assert report.total_cycles == solo.total_cycles
+
+    def test_single_entry_batch_matches_run_traces(self):
+        rng = np.random.default_rng(13)
+        traces = [random_trace(rng, steps=1, layers=2) for _ in range(2)]
+        via_batch = AcceleratorSimulator(sqdm_config()).run_config_traces(
+            [(sqdm_config(), traces)]
+        )
+        via_traces = AcceleratorSimulator(sqdm_config()).run_traces(traces)
+        for batched, direct in zip(via_batch[0], via_traces):
+            assert batched.total_cycles == direct.total_cycles
+            assert batched.total_energy.total_pj == direct.total_energy.total_pj
+
+    def test_reference_backend_supports_cross_config_entry_point(self):
+        rng = np.random.default_rng(17)
+        trace = random_trace(rng, steps=1, layers=1)
+        entries = [(sqdm_config(), [trace]), (dense_baseline_config(), [trace])]
+        reports = AcceleratorSimulator(sqdm_config(), backend="reference").run_config_traces(
+            entries
+        )
+        for (config, _), config_reports in zip(entries, reports):
+            solo = AcceleratorSimulator(config, backend="reference").run_trace(trace)
+            assert config_reports[0].total_cycles == pytest.approx(solo.total_cycles, rel=1e-12)
+
+    def test_sparsity_fill_bit_identical_to_row_loop(self):
+        """The concatenate + fancy-index sparsity fill reproduces the PR-2
+        per-row Python loop bit for bit on ragged channel counts."""
+        rng = np.random.default_rng(23)
+        sparsities = [rng.random(int(rng.integers(1, 40))) for _ in range(25)]
+        in_channels = np.array([s.size for s in sparsities])
+        looped = np.zeros((len(sparsities), int(in_channels.max())))
+        for row, values in enumerate(sparsities):
+            looped[row, : values.size] = values
+        flat = np.concatenate(sparsities)
+        rows = np.repeat(np.arange(len(sparsities)), in_channels)
+        starts = np.concatenate(([0], np.cumsum(in_channels)[:-1]))
+        cols = np.arange(flat.size) - np.repeat(starts, in_channels)
+        vectorized = np.zeros_like(looped)
+        vectorized[rows, cols] = flat
+        assert np.array_equal(looped, vectorized)
+
+
+class TestPerReportDetectorStats:
+    """Satellite: detector activity is reported per (config, trace) pair on
+    the immutable report, not only as mutable batch totals on the backend."""
+
+    def test_solo_report_carries_detector_stats(self, synthetic_trace):
+        config = sqdm_config(sparsity_update_period=2)
+        sim = AcceleratorSimulator(config)
+        report = sim.run_trace(synthetic_trace)
+        assert report.detector_stats is not None
+        assert report.detector_stats.updates_performed == sim.detector_stats.updates_performed
+        assert report.detector_stats.channels_evaluated == sim.detector_stats.channels_evaluated
+        assert report.detector_stats.updates_performed > 0
+
+    def test_batched_reports_carry_per_trace_stats(self, synthetic_trace):
+        """Batch totals on the backend equal the sum of per-report stats, and
+        each per-report value matches the solo run."""
+        config = sqdm_config(sparsity_update_period=2)
+        sim = AcceleratorSimulator(config)
+        solo = sim.run_trace(synthetic_trace)
+        batched = sim.run_traces([synthetic_trace, synthetic_trace, synthetic_trace])
+        for report in batched:
+            assert report.detector_stats.updates_performed == solo.detector_stats.updates_performed
+            assert (
+                report.detector_stats.channels_evaluated == solo.detector_stats.channels_evaluated
+            )
+        assert sim.detector_stats.updates_performed == 3 * solo.detector_stats.updates_performed
+
+    def test_cross_config_stats_match_reference(self):
+        rng = np.random.default_rng(29)
+        trace = random_trace(rng, steps=3, layers=2)
+        configs = [sqdm_config(sparsity_update_period=2), sqdm_config(sparsity_threshold=0.7)]
+        batched = AcceleratorSimulator(configs[0]).run_config_traces(
+            [(config, [trace]) for config in configs]
+        )
+        for config, reports in zip(configs, batched):
+            ref = AcceleratorSimulator(config, backend="reference").run_trace(trace)
+            assert reports[0].detector_stats.updates_performed == (
+                ref.detector_stats.updates_performed
+            )
+            assert reports[0].detector_stats.channels_evaluated == (
+                ref.detector_stats.channels_evaluated
+            )
+
+    def test_degenerate_configs_report_zero_detector_activity(self):
+        rng = np.random.default_rng(31)
+        trace = random_trace(rng, steps=2, layers=1)
+        for config in (dense_baseline_config(), AcceleratorConfig(name="sp", num_dpe=0, num_spe=2)):
+            report = AcceleratorSimulator(config).run_trace(trace)
+            assert report.detector_stats.updates_performed == 0
+            assert report.detector_stats.channels_evaluated == 0
+
+
 class TestDivisionEdgeCases:
     def test_safe_speedup_zero_over_zero_is_one(self):
         assert safe_speedup(0.0, 0.0) == 1.0

@@ -1,0 +1,153 @@
+"""Tests for the benchmark harness (``repro bench``) and its regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.bench as bench_module
+from repro.core.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    BenchWorkload,
+    bench_grid,
+    bench_traces,
+    compare_to_baseline,
+    run_bench,
+)
+from repro.serve.cli import main as cli_main
+
+
+def tiny_workload() -> BenchWorkload:
+    return BenchWorkload(num_configs=2, num_traces=2, steps=1, layers=1, channels=4, repeats=1)
+
+
+def make_payload(entries_per_calib: float = 100.0, wall_clock_calib: float = 0.5) -> dict:
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "metrics": {
+            "sim_entries_per_calib": entries_per_calib,
+            "sweep_wall_clock_calib": wall_clock_calib,
+        },
+    }
+
+
+class TestBenchHarness:
+    def test_run_bench_smoke(self, monkeypatch):
+        """A (shrunken) quick run produces every metric, JSON-serializable."""
+        monkeypatch.setattr(BenchWorkload, "quick", classmethod(lambda cls: tiny_workload()))
+        result = run_bench(quick=True)
+        assert set(result.metrics) == {
+            "calibration_score",
+            "sim_entries_per_sec",
+            "sweep_wall_clock_s",
+            "per_config_sweep_wall_clock_s",
+            "cross_config_speedup",
+            "service_jobs_per_sec",
+            "sim_entries_per_calib",
+            "sweep_wall_clock_calib",
+        }
+        assert all(value > 0 for value in result.metrics.values())
+        payload = result.as_dict()
+        assert payload["bench_schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["workload"]["num_configs"] == 2
+        json.dumps(payload)  # BENCH_<n>.json must be plain JSON
+
+    def test_grid_and_traces_are_deterministic(self):
+        workload = tiny_workload()
+        first, second = bench_grid(workload), bench_grid(workload)
+        assert [c.name for c in first] == [c.name for c in second]
+        assert len(first) == workload.num_configs
+        assert {(c.num_dpe, c.num_spe) for c in bench_grid(BenchWorkload())} == {
+            (1, 1), (1, 2), (2, 1), (2, 2)
+        }
+        traces_a, traces_b = bench_traces(workload), bench_traces(workload)
+        assert len(traces_a) == workload.num_traces
+        for trace_a, trace_b in zip(traces_a, traces_b):
+            for step_a, step_b in zip(trace_a, trace_b):
+                for w_a, w_b in zip(step_a, step_b):
+                    assert (w_a.channel_sparsity == w_b.channel_sparsity).all()
+
+    def test_workload_entry_count(self):
+        workload = BenchWorkload(num_configs=3, num_traces=2, steps=4, layers=5)
+        assert workload.entries == 3 * 2 * 4 * 5
+
+
+class TestRegressionGate:
+    def test_no_findings_when_within_tolerance(self):
+        baseline = make_payload(100.0, 0.5)
+        current = make_payload(90.0, 0.55)  # -10% / +10%, inside 15%
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_higher_is_better_metric_fails_on_drop(self):
+        findings = compare_to_baseline(make_payload(50.0, 0.5), make_payload(100.0, 0.5))
+        assert [f.metric for f in findings] == ["sim_entries_per_calib"]
+        assert findings[0].change == pytest.approx(-0.5)
+        assert "baseline" in findings[0].describe()
+
+    def test_lower_is_better_metric_fails_on_rise(self):
+        findings = compare_to_baseline(make_payload(100.0, 1.0), make_payload(100.0, 0.5))
+        assert [f.metric for f in findings] == ["sweep_wall_clock_calib"]
+
+    def test_improvements_never_fail(self):
+        # 10x faster on both axes: large drift, good direction
+        assert compare_to_baseline(make_payload(1000.0, 0.05), make_payload(100.0, 0.5)) == []
+
+    def test_missing_metrics_are_skipped(self):
+        baseline = {"metrics": {"sim_entries_per_calib": 100.0}}  # old baseline
+        current = make_payload(10.0, 99.0)
+        findings = compare_to_baseline(current, baseline)
+        assert [f.metric for f in findings] == ["sim_entries_per_calib"]
+
+    def test_tolerance_is_configurable(self):
+        baseline, current = make_payload(100.0, 0.5), make_payload(80.0, 0.5)
+        assert compare_to_baseline(current, baseline, tolerance=0.25) == []
+        assert len(compare_to_baseline(current, baseline, tolerance=0.1)) == 1
+
+
+class TestBenchCLI:
+    @pytest.fixture()
+    def canned_bench(self, monkeypatch):
+        """Make ``repro bench`` instant: return a canned result, no timing."""
+
+        def fake_run_bench(quick=True, seed=0):
+            return BenchResult(
+                metrics={
+                    "sim_entries_per_calib": 100.0,
+                    "sweep_wall_clock_calib": 0.5,
+                    "cross_config_speedup": 3.5,
+                },
+                workload=tiny_workload().as_dict(),
+                quick=quick,
+            )
+
+        monkeypatch.setattr(bench_module, "run_bench", fake_run_bench)
+
+    def test_bench_writes_json_payload(self, canned_bench, tmp_path):
+        out = tmp_path / "bench.json"
+        assert cli_main(["bench", "--quick", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["metrics"]["cross_config_speedup"] == 3.5
+        assert payload["quick"] is True
+
+    def test_bench_gate_passes_against_equal_baseline(self, canned_bench, tmp_path):
+        baseline = tmp_path / "BENCH.json"
+        baseline.write_text(json.dumps(make_payload(100.0, 0.5)))
+        assert cli_main(["bench", "--quick", "--baseline", str(baseline)]) == 0
+
+    def test_bench_gate_fails_on_regression(self, canned_bench, tmp_path, capsys):
+        baseline = tmp_path / "BENCH.json"
+        baseline.write_text(json.dumps(make_payload(1000.0, 0.5)))
+        out = tmp_path / "bench.json"
+        code = cli_main(["bench", "--quick", "--baseline", str(baseline), "--json", str(out)])
+        assert code == 1
+        assert "sim_entries_per_calib" in capsys.readouterr().err
+        payload = json.loads(out.read_text())
+        assert payload["baseline"]["regressions"]  # recorded in the artifact
+
+    def test_bench_gate_unreadable_baseline_is_distinct_error(self, canned_bench, tmp_path):
+        assert cli_main(["bench", "--baseline", str(tmp_path / "missing.json")]) == 2
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert cli_main(["bench", "--baseline", str(corrupt)]) == 2

@@ -7,7 +7,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.accelerator import AcceleratorSimulator, random_workload, sqdm_config
+from repro.accelerator import AcceleratorSimulator, DetectorStats, random_workload, sqdm_config
 from repro.accelerator.config import PEConfig, dense_baseline_config
 from repro.accelerator.controller import LayerExecutionResult
 from repro.accelerator.energy import EnergyBreakdown, EnergyTable
@@ -124,6 +124,7 @@ def sample_objects() -> dict[str, tuple]:
             StepResult(time_step=1, cycles=20.0, energy=_energy(), layer_results=[_layer_result()]),
             None,
         ),
+        "detector_stats": (DetectorStats(updates_performed=4, channels_evaluated=96), None),
         "simulation_report": (report, None),
         "cost_summary": (CostSummary(1.0, 2.0, 3.0, 4.0), None),
         "quantization_evaluation": (
@@ -215,6 +216,17 @@ class TestEverySchemaRoundTrips:
         assert decoded.total_energy.total_pj == report.total_energy.total_pj
         assert decoded.total_macs == report.total_macs
         assert len(decoded.step_results) == len(report.step_results)
+
+    def test_simulation_report_detector_stats_round_trip_and_skew(self):
+        """Per-report detector stats survive the wire, and reports encoded
+        before the field existed still decode (to None)."""
+        report = make_report()
+        assert report.detector_stats is not None
+        decoded = codec.decode(codec.encode(report))
+        assert decoded.detector_stats == report.detector_stats
+        legacy = codec.encode(report)
+        del legacy["detector_stats"]
+        assert codec.decode(legacy).detector_stats is None
 
 
 class TestRegistry:

@@ -238,6 +238,32 @@ class TestFingerprints:
         retimed = [[w.replace(weight_bits=16) for w in step] for step in small_trace]
         assert base != fingerprint_trace(retimed)
 
+    def test_trace_fingerprint_memoized_per_object(self, small_trace, monkeypatch):
+        """Cache keys sharing the same trace object hash it only once: a
+        server-planned sweep builds one request per grid point over one trace."""
+        import repro.core.report_cache as rc
+
+        hashes: list[int] = []
+        original = fingerprint_trace
+
+        def counting(trace):
+            hashes.append(id(trace))
+            return original(trace)
+
+        monkeypatch.setattr(rc, "fingerprint_trace", counting)
+        expected = original(small_trace)
+        keys = [
+            ReportCache.key(sqdm_config(sparsity_threshold=t), small_trace)
+            for t in (0.1, 0.2, 0.3, 0.4)
+        ]
+        assert all(key[2] == expected for key in keys)
+        assert len(hashes) <= 1  # 0 if an earlier test already memoized it
+
+        # A content-equal but distinct object gets its own hash (identity key).
+        clone = [[w.replace() for w in step] for step in small_trace]
+        assert ReportCache.key(sqdm_config(), clone)[2] == expected
+        assert rc.memoized_fingerprint_trace(clone) == expected
+
 
 class TestPipelineCaching:
     def test_evaluate_hardware_reuses_shared_baselines(self, cifar_workload):

@@ -20,6 +20,7 @@ from repro.core.artifacts import ArtifactStore
 from repro.core.experiments import run_sweep
 from repro.core.report_cache import ReportCache
 from repro.serve import (
+    BatchStats,
     CallableJobSpec,
     EvaluationService,
     JobFailedError,
@@ -126,23 +127,48 @@ class TestRunBatched:
             SimulationRequest(dense, trace_b),
         ]
 
-        calls: list[int] = []
-        original = AcceleratorSimulator.run_traces
+        calls: list[list[int]] = []
+        original = AcceleratorSimulator.run_config_traces
 
-        def counting(self, traces):
-            calls.append(len(traces))
-            return original(self, traces)
+        def counting(self, entries):
+            calls.append([len(traces) for _, traces in entries])
+            return original(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces", counting)
         cache = ReportCache()
-        reports = run_batched(requests, cache=cache)
+        stats = BatchStats()
+        reports = run_batched(requests, cache=cache, stats=stats)
 
-        # two groups (sqdm, dense), each batching two traces in one call
-        assert sorted(calls) == [2, 2]
+        # sqdm + dense share an energy table and backend, so the whole
+        # request stream fuses into ONE cross-config kernel call.
+        assert calls == [[2, 2]]
+        assert stats.kernel_calls == 1
+        assert stats.cross_config_calls == 1
+        assert stats.configs_simulated == 2
+        assert stats.traces_simulated == 4
         for request, report in zip(requests, reports):
             expected = AcceleratorSimulator(request.config).run_trace(request.trace)
             assert report.total_cycles == expected.total_cycles
             assert report.config_name == request.config.name
+
+    def test_single_config_group_takes_run_traces_fast_path(self, monkeypatch):
+        """A group with one distinct configuration must not pay the
+        cross-config entry point; it keeps the established run_traces path."""
+        run_traces_calls: list[int] = []
+        original = AcceleratorSimulator.run_traces
+
+        def counting(self, traces):
+            run_traces_calls.append(len(traces))
+            return original(self, traces)
+
+        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        requests = [SimulationRequest(sqdm_config(), make_trace(seed)) for seed in range(3)]
+        stats = BatchStats()
+        run_batched(requests, cache=ReportCache(), stats=stats)
+        assert run_traces_calls == [3]
+        assert stats.kernel_calls == 1
+        assert stats.single_config_calls == 1
+        assert stats.cross_config_calls == 0
 
     def test_duplicate_requests_simulated_once(self):
         trace = make_trace(5)
@@ -160,7 +186,8 @@ class TestRunBatched:
         assert second[0] is first[0]
         assert cache.stats.hits == 1 and cache.stats.misses == 1
 
-    def test_coalesce_groups_by_config_energy_backend(self):
+    def test_coalesce_groups_by_energy_table_and_backend(self):
+        """Configs no longer split groups — only energy table and backend do."""
         trace = make_trace(7)
         groups = coalesce_requests(
             [
@@ -170,7 +197,8 @@ class TestRunBatched:
                 SimulationRequest(sqdm_config(), trace, backend="reference"),
             ]
         )
-        assert [len(g) for g in groups] == [2, 1, 1]
+        # sqdm x2 + dense coalesce (same table/backend); reference stays apart
+        assert [len(g) for g in groups] == [3, 1]
 
 
 # -- evaluation service ----------------------------------------------------------
@@ -288,6 +316,26 @@ class TestSweepJobs:
         assert cache.stats.misses == 3
         for again, once in zip(second.reports, first.reports):
             assert again.total_cycles == once.total_cycles
+
+    def test_sweep_fuses_into_one_kernel_call_and_exposes_stats(self):
+        """A server-planned sweep (grid + baseline, shared table/backend)
+        dispatches as ONE cross-config kernel call, visible in service_stats."""
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.1, 0.3, 0.5]},
+            trace=make_trace(12),
+            baseline=dense_baseline_config(),
+        )
+        with EvaluationService(cache=ReportCache(), max_workers=2) as service:
+            assert service.submit_sweep(spec).result(timeout=120) is not None
+            scheduler = service.service_stats()["scheduler"]
+        assert scheduler == {
+            "kernel_calls": 1,
+            "cross_config_calls": 1,
+            "single_config_calls": 0,
+            "configs_simulated": 4,
+            "traces_simulated": 4,
+        }
 
     def test_sweep_without_baseline(self):
         spec = SweepJobSpec(
