@@ -40,13 +40,32 @@ when per-PE introspection is needed.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ...core.telemetry import COUNT_BUCKETS, get_registry
 from ..config import AcceleratorConfig
 from ..energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
 from ..noc import InterconnectNetwork
 from ..workload import ConvLayerWorkload
 from .base import DetectorStats
+
+# Kernel telemetry: how long each batched NumPy pass takes and how it was
+# shaped (configs fused per call, flattened entry rows per call).
+_KERNEL_SECONDS = get_registry().histogram(
+    "repro_kernel_duration_seconds", "Wall time of one batched simulation kernel call."
+)
+_KERNEL_CONFIGS = get_registry().histogram(
+    "repro_kernel_batch_configs",
+    "Configurations fused into one kernel call.",
+    buckets=COUNT_BUCKETS,
+)
+_KERNEL_ENTRIES = get_registry().histogram(
+    "repro_kernel_batch_entries",
+    "Flattened (config, trace, step, layer) rows per kernel call.",
+    buckets=COUNT_BUCKETS,
+)
 
 #: Thresholds replicating the controller's degenerate classifications: a
 #: dense-only array treats every channel as dense, a sparse-only array as
@@ -157,6 +176,29 @@ def _zero_report(config: AcceleratorConfig, trace: "list[list[ConvLayerWorkload]
 
 
 def run_config_traces(
+    entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
+    energy_table: EnergyTable | None = None,
+    batch_stats: DetectorStats | None = None,
+) -> "list[list]":
+    """Timed wrapper over :func:`_run_config_traces_impl` (the actual kernel):
+    records call duration and batch shape into the telemetry registry."""
+    began = time.monotonic()
+    try:
+        return _run_config_traces_impl(entries, energy_table, batch_stats)
+    finally:
+        _KERNEL_SECONDS.observe(time.monotonic() - began)
+        _KERNEL_CONFIGS.observe(len(entries))
+        _KERNEL_ENTRIES.observe(
+            sum(
+                len(workloads)
+                for _, traces in entries
+                for trace in traces
+                for workloads in trace
+            )
+        )
+
+
+def _run_config_traces_impl(
     entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
     energy_table: EnergyTable | None = None,
     batch_stats: DetectorStats | None = None,

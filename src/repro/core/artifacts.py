@@ -71,6 +71,23 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from . import codec
+from .telemetry import get_registry
+
+# Process-wide disk-tier telemetry, aggregated across every store instance
+# (per-store counts stay on each instance's ``ArtifactStoreStats``).
+_READ_SECONDS = get_registry().histogram(
+    "repro_artifact_read_seconds", "Artifact read latency (file read + decode + verify)."
+)
+_WRITE_SECONDS = get_registry().histogram(
+    "repro_artifact_write_seconds", "Artifact write latency (encode + atomic publish)."
+)
+_HITS = get_registry().counter(
+    "repro_artifact_hits_total", "Artifact reads that verified and decoded."
+)
+_MISSES = get_registry().counter(
+    "repro_artifact_misses_total", "Artifact reads served as misses (absent, corrupt, legacy)."
+)
+_WRITES = get_registry().counter("repro_artifact_writes_total", "Artifacts persisted.")
 
 #: File-format magics.  The trailing version is bumped when the layout
 #: changes; readers reject versions they do not understand instead of
@@ -301,6 +318,7 @@ class ArtifactStore:
         propagates otherwise so callers never silently store something no
         other process can read.
         """
+        began = time.monotonic()
         path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = self._encode_payload(obj)
@@ -319,6 +337,8 @@ class ArtifactStore:
         self._write_stamp(path)
         with self._lock:
             self.stats.writes += 1
+        _WRITES.inc()
+        _WRITE_SECONDS.observe(time.monotonic() - began)
         if self._should_evict_after_write(len(blob)):
             self.evict()
         return path
@@ -359,12 +379,15 @@ class ArtifactStore:
         opt-in, and a valid file whose schema version this process does not
         know (written by newer code).
         """
+        began = time.monotonic()
         path = self.path_for(kind, key)
         try:
             blob = path.read_bytes()
         except OSError:
             with self._lock:
                 self.stats.misses += 1
+            _MISSES.inc()
+            _READ_SECONDS.observe(time.monotonic() - began)
             return default
 
         obj, status = self._decode(blob)
@@ -377,6 +400,8 @@ class ArtifactStore:
                     self.stats.corrupt_discarded += 1
                 elif status == "legacy":
                     self.stats.legacy_skipped += 1
+        (_HITS if status == "ok" else _MISSES).inc()
+        _READ_SECONDS.observe(time.monotonic() - began)
         if status == "corrupt":
             try:
                 path.unlink()

@@ -16,7 +16,9 @@ landed.  Three measurements cover the stack:
 ``service_jobs_per_sec``
     End-to-end job throughput of an :class:`EvaluationService` fed distinct
     simulation jobs (cold cache), including queueing, coalescing and
-    completion overhead.
+    completion overhead.  The same run records per-job submitted->finished
+    latency percentiles (``service_job_latency_p50_s`` / ``_p95_s``) from
+    each job's monotonic trace — observability fields, not gated.
 
 Absolute timings are machine-dependent, so the regression gate compares
 *calibrated* values: every run also times a fixed NumPy reduction
@@ -220,8 +222,12 @@ def _time_sweeps(
     return _min_runtime(cross_config, repeats), _min_runtime(per_config, repeats)
 
 
-def _time_service(configs: list[AcceleratorConfig], traces: list[WorkloadTrace]) -> float:
-    """Jobs/sec of an EvaluationService fed one cold-cache job per config."""
+def _time_service(
+    configs: list[AcceleratorConfig], traces: list[WorkloadTrace]
+) -> tuple[float, float, float]:
+    """(jobs/sec, p50 latency, p95 latency) of an EvaluationService fed one
+    cold-cache job per config.  Latency is per-job submitted->finished time
+    from the job's monotonic trace, so it includes queueing and coalescing."""
     from ..serve.service import EvaluationService
     from .report_cache import ReportCache
 
@@ -231,8 +237,20 @@ def _time_service(configs: list[AcceleratorConfig], traces: list[WorkloadTrace])
         jobs = [service.submit_simulation(config, traces[0]) for config in configs]
         for job in jobs:
             job.result()
+        latencies = sorted(
+            elapsed
+            for job in jobs
+            if (elapsed := job.trace.elapsed("submitted", "finished")) is not None
+        )
     elapsed = time.perf_counter() - start
-    return jobs_submitted / elapsed if elapsed > 0 else float("inf")
+
+    def percentile(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, round(q * (len(latencies) - 1)))]
+
+    jobs_per_sec = jobs_submitted / elapsed if elapsed > 0 else float("inf")
+    return jobs_per_sec, percentile(0.50), percentile(0.95)
 
 
 def run_bench(quick: bool = True, seed: int = 0) -> BenchResult:
@@ -245,7 +263,7 @@ def run_bench(quick: bool = True, seed: int = 0) -> BenchResult:
     calibration = calibration_score(workload.repeats)
     cross_s, per_config_s = _time_sweeps(configs, traces, workload.repeats)
     entries_per_sec = workload.entries / cross_s if cross_s > 0 else float("inf")
-    jobs_per_sec = _time_service(configs, traces)
+    jobs_per_sec, latency_p50, latency_p95 = _time_service(configs, traces)
 
     metrics = {
         "calibration_score": calibration,
@@ -254,6 +272,8 @@ def run_bench(quick: bool = True, seed: int = 0) -> BenchResult:
         "per_config_sweep_wall_clock_s": per_config_s,
         "cross_config_speedup": per_config_s / cross_s if cross_s > 0 else float("inf"),
         "service_jobs_per_sec": jobs_per_sec,
+        "service_job_latency_p50_s": latency_p50,
+        "service_job_latency_p95_s": latency_p95,
         "sim_entries_per_calib": entries_per_sec / calibration,
         "sweep_wall_clock_calib": cross_s * calibration,
     }

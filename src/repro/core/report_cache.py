@@ -30,6 +30,21 @@ from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import DEFAULT_ENERGY_TABLE, EnergyTable
 from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
 from .artifacts import ArtifactStore, default_artifact_store
+from .telemetry import get_registry
+
+# Process-wide tier counters (flat, not labeled, so the CI reconcile step and
+# `repro top` can read them without label arithmetic).  Per-cache counts stay
+# on each instance's ``CacheStats``; these aggregate across all caches.
+_MEMORY_HITS = get_registry().counter(
+    "repro_cache_memory_hits_total", "Report-cache lookups served from process memory."
+)
+_DISK_HITS = get_registry().counter(
+    "repro_cache_disk_hits_total",
+    "Report-cache lookups served from the artifact tier (then promoted to memory).",
+)
+_MISSES = get_registry().counter(
+    "repro_cache_misses_total", "Report-cache lookups that required a simulation."
+)
 
 #: Artifact-store namespace used for persisted simulation reports.
 REPORT_ARTIFACT_KIND = "report"
@@ -231,6 +246,7 @@ class ReportCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                _MEMORY_HITS.inc()
                 return cached
         store = self.store
         if store is not None:
@@ -238,9 +254,11 @@ class ReportCache:
             if isinstance(report, SimulationReport):
                 with self._lock:
                     self.stats.disk_hits += 1
+                    _DISK_HITS.inc()
                     return self._insert_memory(key, report)
         with self._lock:
             self.stats.misses += 1
+            _MISSES.inc()
         return None
 
     def insert_key(self, key: CacheKey, report: SimulationReport) -> SimulationReport:
@@ -260,6 +278,38 @@ class ReportCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
         return self._entries[key]
+
+    def summary(self) -> dict:
+        """JSON-friendly two-tier snapshot (``service_stats()["cache"]``)."""
+        with self._lock:
+            stats = self.stats
+            memory = {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": stats.hits,
+                "disk_hits": stats.disk_hits,
+                "misses": stats.misses,
+                "requests": stats.requests,
+                "hit_rate": stats.hit_rate,
+            }
+        store = self.store
+        if store is None:
+            return {"memory": memory, "artifacts": None}
+        # Counter snapshot only — store.summary() walks the whole directory
+        # tree, too heavy for a stats endpoint polled by `repro top`.
+        artifact_stats = store.stats
+        return {
+            "memory": memory,
+            "artifacts": {
+                "root": str(store.root),
+                "hits": artifact_stats.hits,
+                "misses": artifact_stats.misses,
+                "writes": artifact_stats.writes,
+                "corrupt_discarded": artifact_stats.corrupt_discarded,
+                "evicted": artifact_stats.evicted,
+                "hit_rate": artifact_stats.hit_rate,
+            },
+        }
 
     # -- public API ------------------------------------------------------------
 

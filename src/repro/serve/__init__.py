@@ -40,9 +40,13 @@ Both the service and the client also speak the unified execution API of
 ``client.as_executor()`` — or ``ServiceExecutor`` / ``RemoteExecutor``
 directly — give the uniform ``submit(spec) -> JobHandle`` surface shared
 with the inline and pool backends.
+``repro.serve.top``
+    The ``repro top`` dashboard: polls ``GET /metrics`` (Prometheus text)
+    and ``GET /jobs`` and renders queue depth, coalescing ratio, cache hit
+    rates and p50/p95/p99 job latency.
 ``repro.serve.cli``
     The ``repro`` console script: ``repro sweep``, ``repro evaluate``,
-    ``repro cache``, ``repro serve``.
+    ``repro cache``, ``repro serve``, ``repro top``.
 """
 
 from . import workers as _workers  # noqa: F401 - registers the wire functions

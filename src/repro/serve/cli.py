@@ -21,7 +21,12 @@ reports instead of recomputing them:
     declarative quality (FID) specs fanned out to the process pool.
 ``repro serve``
     Run the evaluation service behind its HTTP front end
-    (:mod:`repro.serve.http`) until interrupted.
+    (:mod:`repro.serve.http`) until interrupted.  ``--log-level`` turns on
+    the structured JSON event log (access records, job lifecycle, spans).
+``repro top``
+    Live terminal dashboard of a running server: polls ``GET /metrics`` and
+    ``GET /jobs`` and renders queue depth, coalescing ratio, cache hit rate
+    and p50/p95/p99 job latency (``--once`` for a single snapshot).
 ``repro cache``
     Inspect, wipe, evict from, or migrate the artifact store.
 ``repro bench``
@@ -431,8 +436,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..core.telemetry import configure_event_log
     from .http import EvaluationHTTPServer
 
+    if args.log_level:
+        configure_event_log(level=args.log_level)
     store = None
     if args.artifact_dir:
         store = artifact_store_at(
@@ -468,6 +476,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close(cancel_queued=True)
     return 0
+
+
+# -- repro top ------------------------------------------------------------------
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .top import run_top
+
+    return run_top(args.endpoint, interval=args.interval, once=args.once)
 
 
 # -- repro cache ----------------------------------------------------------------
@@ -552,6 +569,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "per_config_sweep_wall_clock_s": "s",
         "cross_config_speedup": "x",
         "service_jobs_per_sec": "jobs/s",
+        "service_job_latency_p50_s": "s",
+        "service_job_latency_p95_s": "s",
         "sim_entries_per_calib": "entries/s, calibrated",
         "sweep_wall_clock_calib": "s, calibrated",
     }
@@ -698,7 +717,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject request bodies larger than this with HTTP 413 "
         "(default: %(default)s)",
     )
+    serve.add_argument(
+        "--log-level",
+        default=None,
+        choices=["off", "error", "info", "debug"],
+        help="structured JSON event log on stderr: access records at info, "
+        "job lifecycle and spans at debug (default: $REPRO_LOG, else off)",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="live dashboard of a running server (/metrics + /jobs)"
+    )
+    top.add_argument(
+        "--endpoint",
+        default="http://127.0.0.1:8035",
+        metavar="URL",
+        help="base URL of the `repro serve` server (default: %(default)s)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: %(default)s)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit (for scripts)"
+    )
+    top.set_defaults(fn=_cmd_top)
 
     cache = sub.add_parser(
         "cache", help="inspect, wipe, evict from, or migrate the artifact store"

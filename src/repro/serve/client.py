@@ -45,7 +45,21 @@ from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import WorkloadTrace
 from ..core import codec
+from ..core.telemetry import get_registry
 from .jobs import JobFailedError, JobStatus
+
+# Client-side transport telemetry, shared by every client in the process.
+_REQUEST_SECONDS = get_registry().histogram(
+    "repro_client_request_seconds",
+    "HTTP request latency from the remote client, by method and outcome.",
+    labels=("method", "outcome"),
+)
+_RETRIES = get_registry().counter(
+    "repro_client_retries_total", "Request attempts retried after a transient failure."
+)
+_BACKOFF_SECONDS = get_registry().counter(
+    "repro_client_backoff_seconds_total", "Cumulative time spent sleeping between retries."
+)
 from .specs import (
     CallableJobSpec,
     QualityJobSpec,
@@ -239,10 +253,18 @@ class RemoteEvaluationClient:
                     "X-Repro-Wire-Version": str(codec.WIRE_VERSION),
                 },
             )
+            began = time.monotonic()
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    return json.loads(response.read().decode("utf-8"))
+                    decoded = json.loads(response.read().decode("utf-8"))
+                _REQUEST_SECONDS.observe(
+                    time.monotonic() - began, method=method, outcome="ok"
+                )
+                return decoded
             except urllib.error.HTTPError as exc:
+                _REQUEST_SECONDS.observe(
+                    time.monotonic() - began, method=method, outcome=f"http_{exc.code}"
+                )
                 # 503 is the one HTTP rejection that happens *before* the
                 # server does any work (overloaded, or a load balancer with
                 # no healthy backend), so even POSTs retry safely.  The
@@ -250,10 +272,13 @@ class RemoteEvaluationClient:
                 if exc.code == 503 and attempt + 1 < self.retries:
                     last_error = exc
                     retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
-                    time.sleep(self._retry_delay(attempt, retry_after))
+                    self._sleep_before_retry(self._retry_delay(attempt, retry_after))
                     continue
                 raise self._http_error(method, path, exc) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                _REQUEST_SECONDS.observe(
+                    time.monotonic() - began, method=method, outcome="transport"
+                )
                 last_error = exc
                 # POST /jobs is not idempotent: a submission whose response
                 # was lost may already be enqueued, so blindly retrying would
@@ -262,10 +287,16 @@ class RemoteEvaluationClient:
                 # still starting up); reads and cancels always retry.
                 if method == "POST" and not self._connection_refused(exc):
                     break
-                time.sleep(self._retry_delay(attempt))
+                self._sleep_before_retry(self._retry_delay(attempt))
         raise RemoteServiceError(
             f"cannot reach {url} ({method}, {attempt + 1} attempt(s)): {last_error}"
         ) from last_error
+
+    @staticmethod
+    def _sleep_before_retry(delay: float) -> None:
+        _RETRIES.inc()
+        _BACKOFF_SECONDS.inc(delay)
+        time.sleep(delay)
 
     @staticmethod
     def _connection_refused(exc: Exception) -> bool:

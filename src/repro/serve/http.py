@@ -21,7 +21,16 @@ GET       ``/schemas``        Wire version + registered schema versions.
 GET       ``/cache/stats``    Report-cache, artifact-store and service stats.
 POST      ``/cache/evict``    Run the artifact store's eviction policy.
 GET       ``/healthz``        Liveness probe with traffic counters.
+GET       ``/metrics``        Telemetry registry, Prometheus text format.
 ========  ==================  ==================================================
+
+``GET /metrics`` is the one non-JSON endpoint: it serves the process-wide
+telemetry registry (:mod:`repro.core.telemetry`) as Prometheus text
+exposition format 0.0.4 and skips JSON content negotiation, since scrapers
+advertise text Accept headers.  Access logging is structured and opt-in:
+enable ``REPRO_LOG=info`` (or ``repro serve --log-level info``) to get one
+JSON line per request (method, path, status, duration, request bytes); by
+default the server stays quiet.
 
 **Everything on the wire is plain, versioned JSON** — no pickles, in either
 direction.  A job submission is a typed spec envelope
@@ -59,11 +68,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from ..core import codec
+from ..core import codec, telemetry
 from ..core.artifacts import ArtifactStore
 from .jobs import JobStatus
 from .service import EvaluationService
@@ -73,6 +83,12 @@ from .specs import JOB_SPEC_TYPES, QualityJobSpec
 #: oversized POST exhausting server memory).  Generous enough for real
 #: traces; override per server via ``max_request_bytes``.
 DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+_HTTP_REQUESTS = telemetry.get_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method and response status.",
+    labels=("method", "status"),
+)
 
 
 class _HTTPError(Exception):
@@ -151,8 +167,34 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------------
 
+    def parse_request(self) -> bool:
+        self._request_began = time.monotonic()
+        return super().parse_request()
+
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
-        pass  # per-request logging is noise for a job server; stats cover it
+        pass  # replaced by the structured access log in log_request
+
+    def log_request(self, code: "int | str" = "-", size: "int | str" = "-") -> None:
+        """Structured, opt-in access logging (one JSON line per request).
+
+        Off by default — the job server stays quiet — and enabled with
+        ``REPRO_LOG=info`` / ``repro serve --log-level info``.  The request
+        counter is always recorded.
+        """
+        status = str(code)
+        _HTTP_REQUESTS.inc(method=self.command or "-", status=status)
+        log = telemetry.event_log()
+        if not log.enabled("info"):
+            return
+        began = getattr(self, "_request_began", None)
+        log.emit(
+            "http.access",
+            method=self.command or "-",
+            path=self.path,
+            status=int(status) if status.isdigit() else status,
+            duration_s=None if began is None else time.monotonic() - began,
+            request_bytes=int(self.headers.get("Content-Length") or 0),
+        )
 
     def _send_json(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -239,7 +281,11 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
-        if parts == ["healthz"]:
+        if parts == ["metrics"]:
+            # Prometheus scrapers send text Accept headers, so this endpoint
+            # bypasses the JSON negotiation entirely.
+            self._get_metrics()
+        elif parts == ["healthz"]:
             self._dispatch(self._get_healthz)
         elif parts == ["schemas"]:
             self._dispatch(self._get_schemas)
@@ -271,6 +317,17 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     # -- handlers ---------------------------------------------------------------
+
+    def _get_metrics(self) -> None:
+        """The telemetry registry in Prometheus text exposition format 0.0.4."""
+        body = telemetry.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
 
     def _get_healthz(self) -> tuple[int, dict[str, Any]]:
         return 200, {

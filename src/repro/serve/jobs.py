@@ -26,6 +26,7 @@ from typing import Any, Callable
 # The lifecycle vocabulary is shared with every other execution backend
 # through the unified execution API; re-exported here for compatibility.
 from ..core.execution import JobFailedError, JobStatus
+from ..core.telemetry import Trace
 
 __all__ = ["Job", "JobFailedError", "JobKind", "JobStatus"]
 
@@ -57,12 +58,28 @@ class Job:
     status: JobStatus = JobStatus.QUEUED
     result_value: Any = None
     error: BaseException | None = None
+    #: Wall-clock timestamps, for display only.  ``time.time()`` can jump
+    #: (NTP slews, DST, manual adjustment), so all duration math uses the
+    #: monotonic counterparts below.
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Monotonic counterparts: the source of truth for queue-wait and
+    #: run-duration math (``queued_seconds`` / ``running_seconds``).
+    submitted_at_monotonic: float = field(default_factory=time.monotonic)
+    started_at_monotonic: float | None = None
+    finished_at_monotonic: float | None = None
+    #: Lifecycle trace following this job across threads (``submitted`` ->
+    #: ``attached``/``dispatched`` -> ``finished``); phases are marked by the
+    #: state transitions below and by the owning service.
+    trace: Trace = None  # type: ignore[assignment]  # filled by __post_init__
     _completed: threading.Event = field(default_factory=threading.Event, repr=False)
     _transitions: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _callbacks: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.trace is None:
+            self.trace = Trace(self.id)
 
     @property
     def done(self) -> bool:
@@ -72,6 +89,30 @@ class Job:
     @property
     def ok(self) -> bool:
         return self.status is JobStatus.DONE
+
+    @property
+    def queued_seconds(self) -> float:
+        """Monotonic time spent waiting in the queue (still counting while queued).
+
+        For a job that never started (cancelled while queued), this is the
+        submit-to-finish distance — the whole life of the job was queue time.
+        """
+        if self.started_at_monotonic is not None:
+            return self.started_at_monotonic - self.submitted_at_monotonic
+        end = self.finished_at_monotonic
+        if end is None:
+            end = time.monotonic()
+        return end - self.submitted_at_monotonic
+
+    @property
+    def running_seconds(self) -> float | None:
+        """Monotonic run duration (still counting while running); None if never started."""
+        if self.started_at_monotonic is None:
+            return None
+        end = self.finished_at_monotonic
+        if end is None:
+            end = time.monotonic()
+        return end - self.started_at_monotonic
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job completes; False if the timeout expired first."""
@@ -111,6 +152,7 @@ class Job:
         """Seal a terminal transition (lock held): stamp the finish time,
         signal waiters, and hand back the callbacks to fire outside the lock."""
         self.finished_at = time.time()
+        self.finished_at_monotonic = time.monotonic()
         self._completed.set()
         callbacks, self._callbacks = self._callbacks, []
         return callbacks
@@ -139,7 +181,9 @@ class Job:
                 return False
             self.status = JobStatus.RUNNING
             self.started_at = time.time()
-            return True
+            self.started_at_monotonic = time.monotonic()
+        self.trace.mark("dispatched")
+        return True
 
     def mark_done(self, value: Any) -> None:
         """Complete the job; a no-op if it already reached a terminal state
@@ -150,6 +194,7 @@ class Job:
             self.result_value = value
             self.status = JobStatus.DONE
             callbacks = self._finish_locked()
+        self.trace.mark("finished", status=JobStatus.DONE.value)
         self._fire_callbacks(callbacks)
 
     def mark_failed(self, error: BaseException) -> None:
@@ -159,6 +204,7 @@ class Job:
             self.error = error
             self.status = JobStatus.FAILED
             callbacks = self._finish_locked()
+        self.trace.mark("finished", status=JobStatus.FAILED.value, error=str(error))
         self._fire_callbacks(callbacks)
 
     def mark_cancelled(self, reason: str = "service shut down") -> bool:
@@ -173,6 +219,7 @@ class Job:
             self.error = RuntimeError(reason)
             self.status = JobStatus.CANCELLED
             callbacks = self._finish_locked()
+        self.trace.mark("finished", status=JobStatus.CANCELLED.value)
         self._fire_callbacks(callbacks)
         return True
 
@@ -187,4 +234,8 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            # Duration fields are monotonic-derived, so they stay correct
+            # across wall-clock adjustments (the *_at fields are display only).
+            "queued_seconds": self.queued_seconds,
+            "running_seconds": self.running_seconds,
         }

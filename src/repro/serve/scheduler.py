@@ -23,13 +23,13 @@ into kernel calls (the service exposes this as ``service_stats()`` ->
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
 from ..core.report_cache import DEFAULT_REPORT_CACHE, CacheKey, ReportCache
+from ..core.telemetry import MetricsRegistry, get_registry
 
 
 @dataclass
@@ -50,47 +50,91 @@ class SimulationRequest:
         return self._key
 
 
-@dataclass
 class BatchStats:
     """How the scheduler carved a request stream into simulation kernel calls.
 
-    Counters accumulate across :func:`run_batched` calls (the service feeds
-    every dispatch into one instance); updates are lock-protected, so one
-    instance can be shared by the service's worker threads.
+    A *derived view* over the telemetry registry, not a parallel set of
+    counters: :meth:`record_group` increments the process-wide
+    ``repro_scheduler_*`` metrics (the same ones ``GET /metrics`` exposes),
+    and every read subtracts the baseline captured at construction — so each
+    instance still reports only the traffic it witnessed, while the registry
+    stays the single source of truth.  Thread-safe: metric updates take the
+    registry lock, and :meth:`as_dict` snapshots all counters under that one
+    lock, so concurrent worker threads can never produce a torn snapshot.
     """
 
-    #: Batched simulator invocations: one per compatibility group that had
-    #: at least one cache miss (``run_traces`` or ``run_config_traces``).
-    kernel_calls: int = 0
-    #: Kernel calls that fused several configurations into one pass.
-    cross_config_calls: int = 0
-    #: Kernel calls that took the single-config ``run_traces`` fast path.
-    single_config_calls: int = 0
-    #: Distinct (config, group) pairs simulated, summed over kernel calls.
-    configs_simulated: int = 0
-    #: Traces simulated (cache misses actually executed).
-    traces_simulated: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._registry = registry if registry is not None else get_registry()
+        self._kernel_calls = self._registry.counter(
+            "repro_scheduler_kernel_calls_total",
+            "Batched simulator invocations, by single- vs cross-config mode.",
+            labels=("mode",),
+        )
+        self._configs = self._registry.counter(
+            "repro_scheduler_configs_simulated_total",
+            "Distinct (config, group) pairs simulated, summed over kernel calls.",
+        )
+        self._traces = self._registry.counter(
+            "repro_scheduler_traces_simulated_total",
+            "Traces simulated (cache misses actually executed).",
+        )
+        with self._registry.locked():
+            self._base = self._raw()
+
+    def _raw(self) -> dict[str, float]:
+        """Current registry totals (call under the registry lock for consistency)."""
+        return {
+            "cross": self._kernel_calls.value(mode="cross_config"),
+            "single": self._kernel_calls.value(mode="single_config"),
+            "configs": self._configs.value(),
+            "traces": self._traces.value(),
+        }
 
     def record_group(self, num_configs: int, num_traces: int) -> None:
-        with self._lock:
-            self.kernel_calls += 1
-            if num_configs > 1:
-                self.cross_config_calls += 1
-            else:
-                self.single_config_calls += 1
-            self.configs_simulated += num_configs
-            self.traces_simulated += num_traces
+        mode = "cross_config" if num_configs > 1 else "single_config"
+        with self._registry.locked():
+            self._kernel_calls.inc(mode=mode)
+            self._configs.inc(num_configs)
+            self._traces.inc(num_traces)
+
+    # -- derived, per-instance counters -----------------------------------------
+
+    @property
+    def cross_config_calls(self) -> int:
+        """Kernel calls that fused several configurations into one pass."""
+        return int(self._kernel_calls.value(mode="cross_config") - self._base["cross"])
+
+    @property
+    def single_config_calls(self) -> int:
+        """Kernel calls that took the single-config ``run_traces`` fast path."""
+        return int(self._kernel_calls.value(mode="single_config") - self._base["single"])
+
+    @property
+    def kernel_calls(self) -> int:
+        """Batched simulator invocations: one per group with >= 1 cache miss."""
+        with self._registry.locked():
+            return self.cross_config_calls + self.single_config_calls
+
+    @property
+    def configs_simulated(self) -> int:
+        return int(self._configs.value() - self._base["configs"])
+
+    @property
+    def traces_simulated(self) -> int:
+        return int(self._traces.value() - self._base["traces"])
 
     def as_dict(self) -> dict[str, int]:
-        with self._lock:
-            return {
-                "kernel_calls": self.kernel_calls,
-                "cross_config_calls": self.cross_config_calls,
-                "single_config_calls": self.single_config_calls,
-                "configs_simulated": self.configs_simulated,
-                "traces_simulated": self.traces_simulated,
-            }
+        with self._registry.locked():  # one lock: a consistent snapshot
+            raw = self._raw()
+        return {
+            "kernel_calls": int(
+                (raw["cross"] - self._base["cross"]) + (raw["single"] - self._base["single"])
+            ),
+            "cross_config_calls": int(raw["cross"] - self._base["cross"]),
+            "single_config_calls": int(raw["single"] - self._base["single"]),
+            "configs_simulated": int(raw["configs"] - self._base["configs"]),
+            "traces_simulated": int(raw["traces"] - self._base["traces"]),
+        }
 
 
 def coalesce_requests(

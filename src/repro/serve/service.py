@@ -46,6 +46,7 @@ from typing import Any, Callable, Iterable, Mapping
 from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import WorkloadTrace
+from ..core import telemetry
 from ..core.execution import ensure_picklable
 from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
 from .jobs import Job, JobKind, JobStatus
@@ -75,6 +76,9 @@ class _JobSink:
 
     def fail(self, error: BaseException) -> None:
         self.job.mark_failed(error)
+
+    def trace_mark(self, phase: str, **fields: Any) -> None:
+        self.job.trace.mark(phase, **fields)
 
 
 class _SweepAggregate:
@@ -132,6 +136,9 @@ class _SweepSink:
 
     def fail(self, error: BaseException) -> None:
         self.aggregate.fail(error)
+
+    def trace_mark(self, phase: str, **fields: Any) -> None:
+        self.aggregate.job.trace.mark(phase, case=self.index, **fields)
 
 
 class EvaluationService:
@@ -191,7 +198,48 @@ class EvaluationService:
         self.cancelled_count = 0
         #: How the scheduler carved the simulation traffic into kernel calls
         #: (shared across worker threads; see ``service_stats()["scheduler"]``).
+        #: A derived view over the process-wide telemetry registry.
         self.batch_stats = BatchStats()
+        # Telemetry: counters/histograms are process-wide (they aggregate
+        # across services, like any Prometheus exporter); the queue-depth and
+        # inflight gauges read from THIS service at collection time, so the
+        # last-constructed service owns them (cleared again at close).
+        registry = telemetry.get_registry()
+        self._jobs_submitted_metric = registry.counter(
+            "repro_service_jobs_submitted_total", "Jobs accepted, by kind.", labels=("kind",)
+        )
+        self._jobs_completed_metric = registry.counter(
+            "repro_service_jobs_completed_total",
+            "Jobs reaching a terminal state, by kind and status.",
+            labels=("kind", "status"),
+        )
+        self._coalesced_metric = registry.counter(
+            "repro_service_coalesced_attached_total",
+            "Simulation requests attached to an in-flight identical batch.",
+        )
+        self._cancelled_metric = registry.counter(
+            "repro_service_cancelled_total", "Jobs cancelled by client request."
+        )
+        self._queue_wait_metric = registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Monotonic queue wait (submitted -> dispatched), by job kind.",
+            labels=("kind",),
+        )
+        self._run_duration_metric = registry.histogram(
+            "repro_service_job_duration_seconds",
+            "Monotonic run duration (dispatched -> finished), by job kind.",
+            labels=("kind",),
+        )
+        self._queue_gauge = registry.gauge(
+            "repro_service_queue_depth", "Jobs waiting in the service queue."
+        )
+        self._inflight_gauge = registry.gauge(
+            "repro_service_inflight_keys", "Simulation cache keys with a batch in flight."
+        )
+        self._queue_gauge_fn = lambda: float(len(self._queue))
+        self._inflight_gauge_fn = lambda: float(len(self._inflight))
+        self._queue_gauge.set_function(self._queue_gauge_fn)
+        self._inflight_gauge.set_function(self._inflight_gauge_fn)
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler", daemon=True
         )
@@ -217,7 +265,19 @@ class EvaluationService:
             self._retire_completed_locked()
             self._queue.append((job, payload))
             self._condition.notify()
+        self._jobs_submitted_metric.inc(kind=job.kind.value)
+        job.trace.mark("submitted", kind=job.kind.value, label=job.label)
+        job.add_done_callback(self._observe_completion)
         return job
+
+    def _observe_completion(self, job: Job) -> None:
+        """Feed one finished job's lifecycle timing into the registry."""
+        self._jobs_completed_metric.inc(kind=job.kind.value, status=job.status.value)
+        if job.started_at_monotonic is not None:
+            self._queue_wait_metric.observe(job.queued_seconds, kind=job.kind.value)
+        running = job.running_seconds
+        if running is not None:
+            self._run_duration_metric.observe(running, kind=job.kind.value)
 
     def submit_simulation(
         self,
@@ -382,6 +442,8 @@ class EvaluationService:
             if cancelled:
                 self._queue = [(j, p) for j, p in self._queue if j is not job]
                 self.cancelled_count += 1
+        if cancelled:
+            self._cancelled_metric.inc()
         return cancelled
 
     def service_stats(self) -> dict[str, Any]:
@@ -403,6 +465,7 @@ class EvaluationService:
             "cancelled": self.cancelled_count,
             "closed": closed,
             "scheduler": self.batch_stats.as_dict(),
+            "cache": self.cache.summary(),
         }
 
     def wait_all(self, jobs: Iterable[Job] | None = None, timeout: float | None = None) -> bool:
@@ -460,9 +523,12 @@ class EvaluationService:
                 if followers is not None:
                     followers.append(sink)
                     self.coalesced_attached += 1
+                    self._coalesced_metric.inc()
+                    sink.trace_mark("attached")
                 else:
                     self._inflight[request.key()] = []
                     leaders.append((sink, request))
+                    sink.trace_mark("coalesced")
 
         # Coalesce the leaders drained together: each config/energy/backend
         # group becomes one batched thread-pool task, so groups run in
@@ -505,8 +571,12 @@ class EvaluationService:
                     self._inflight.pop(request.key(), None)
         if not live_requests:
             return
+        for sink in live_sinks:
+            if sink is not None:
+                sink.trace_mark("kernel", batch=len(live_requests))
         try:
-            reports = run_batched(live_requests, cache=self.cache, stats=self.batch_stats)
+            with telemetry.span("scheduler.batch", requests=len(live_requests)):
+                reports = run_batched(live_requests, cache=self.cache, stats=self.batch_stats)
         except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
             self._finish_group(live_sinks, live_requests, error=exc)
             return
@@ -608,6 +678,10 @@ class EvaluationService:
         self._threads.shutdown(wait=True)
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
+        # Release the live gauges only if this service still owns them (a
+        # newer service may have claimed them since).
+        self._queue_gauge.clear_function(self._queue_gauge_fn)
+        self._inflight_gauge.clear_function(self._inflight_gauge_fn)
 
     def __enter__(self) -> "EvaluationService":
         return self

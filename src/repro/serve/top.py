@@ -1,0 +1,274 @@
+"""``repro top`` — a live terminal view of one evaluation server.
+
+Polls ``GET /metrics`` (Prometheus text) and ``GET /jobs`` on a ``repro
+serve`` endpoint and renders a refreshing dashboard: queue depth, inflight
+keys, coalescing ratio, cache hit rates, throughput counters and p50/p95/p99
+job latency estimated from the histogram buckets.  ``--once`` prints a
+single snapshot and exits (scripts and tests); otherwise the screen
+refreshes every ``--interval`` seconds until interrupted.
+
+The module is also the reference consumer of the exposition format:
+:func:`parse_prometheus` understands exactly what
+:meth:`~repro.core.telemetry.MetricsRegistry.render_prometheus` emits
+(``# HELP``/``# TYPE`` comments, labeled samples, histogram ``_bucket`` /
+``_sum`` / ``_count`` series).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from typing import Any, Iterable, Mapping
+
+from ..core.telemetry import quantile_from_buckets
+
+#: Sample name -> list of (labels, value) pairs.
+Samples = dict[str, list[tuple[dict[str, str], float]]]
+
+
+def parse_prometheus(text: str) -> Samples:
+    """Parse Prometheus text exposition format into name -> samples.
+
+    Handles the subset our renderer emits: ``# HELP`` / ``# TYPE`` comments
+    (skipped), bare samples, and ``name{key="value",...} value`` lines with
+    backslash-escaped label values.
+    """
+    samples: Samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, _, value_text = rest.rpartition("}")
+            labels = _parse_labels(label_text)
+        else:
+            name, _, value_text = line.rpartition(" ")
+            labels = {}
+        try:
+            value = float(value_text.strip())
+        except ValueError:
+            continue  # tolerate foreign lines rather than failing the view
+        samples.setdefault(name.strip(), []).append((labels, value))
+    return samples
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        eq = text.find("=", index)
+        if eq < 0:
+            break
+        key = text[index:eq].strip().lstrip(",").strip()
+        # Value is a double-quoted string with backslash escapes.
+        start = text.find('"', eq)
+        if start < 0:
+            break
+        chars: list[str] = []
+        pos = start + 1
+        while pos < len(text):
+            ch = text[pos]
+            if ch == "\\" and pos + 1 < len(text):
+                nxt = text[pos + 1]
+                chars.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                pos += 2
+                continue
+            if ch == '"':
+                break
+            chars.append(ch)
+            pos += 1
+        labels[key] = "".join(chars)
+        index = pos + 1
+    return labels
+
+
+def sample_total(samples: Samples, name: str, **match: str) -> float:
+    """Sum of one sample series, optionally filtered on label values."""
+    total = 0.0
+    for labels, value in samples.get(name, []):
+        if all(labels.get(key) == wanted for key, wanted in match.items()):
+            total += value
+    return total
+
+
+def histogram_quantiles(
+    samples: Samples, base_name: str, quantiles: Iterable[float]
+) -> list[float | None]:
+    """Estimate quantiles of one histogram, aggregated across label sets.
+
+    Cumulative ``_bucket`` counts sharing an ``le`` bound are summed (so a
+    per-kind histogram collapses into one distribution), then interpolated
+    exactly like :meth:`Histogram.quantile`.  Returns None per quantile when
+    the histogram has no observations.
+    """
+    by_bound: dict[float, float] = {}
+    has_inf = False
+    inf_total = 0.0
+    for labels, value in samples.get(f"{base_name}_bucket", []):
+        bound_text = labels.get("le", "")
+        if bound_text == "+Inf":
+            has_inf = True
+            inf_total += value
+            continue
+        try:
+            bound = float(bound_text)
+        except ValueError:
+            continue
+        by_bound[bound] = by_bound.get(bound, 0.0) + value
+    uppers = sorted(by_bound)
+    cumulative = [by_bound[upper] for upper in uppers]
+    cumulative.append(inf_total if has_inf else (cumulative[-1] if cumulative else 0.0))
+    count = cumulative[-1]
+    if count <= 0:
+        return [None for _ in quantiles]
+    return [quantile_from_buckets(uppers, cumulative, q) for q in quantiles]
+
+
+# -- snapshot ---------------------------------------------------------------------
+
+
+def fetch_text(url: str, timeout: float = 10.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def fetch_json(url: str, timeout: float = 10.0) -> Any:
+    return json.loads(fetch_text(url, timeout=timeout))
+
+
+def build_snapshot(metrics_text: str, jobs_payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Digest one /metrics + /jobs poll into the numbers the view renders."""
+    samples = parse_prometheus(metrics_text)
+
+    memory_hits = sample_total(samples, "repro_cache_memory_hits_total")
+    disk_hits = sample_total(samples, "repro_cache_disk_hits_total")
+    misses = sample_total(samples, "repro_cache_misses_total")
+    lookups = memory_hits + disk_hits + misses
+    attached = sample_total(samples, "repro_service_coalesced_attached_total")
+
+    p50, p95, p99 = histogram_quantiles(
+        samples, "repro_service_job_duration_seconds", (0.50, 0.95, 0.99)
+    )
+    jobs = list(jobs_payload.get("jobs", []))
+    by_status: dict[str, int] = {}
+    for job in jobs:
+        by_status[job.get("status", "?")] = by_status.get(job.get("status", "?"), 0) + 1
+
+    return {
+        "queue_depth": sample_total(samples, "repro_service_queue_depth"),
+        "inflight_keys": sample_total(samples, "repro_service_inflight_keys"),
+        "submitted": sample_total(samples, "repro_service_jobs_submitted_total"),
+        "completed": sample_total(samples, "repro_service_jobs_completed_total"),
+        "cancelled": sample_total(samples, "repro_service_cancelled_total"),
+        "coalesced_attached": attached,
+        # Fraction of simulation demand served by attaching to an identical
+        # in-flight batch instead of entering the cache/kernel path at all.
+        "coalescing_ratio": attached / (attached + lookups) if (attached + lookups) else 0.0,
+        "cache_memory_hits": memory_hits,
+        "cache_disk_hits": disk_hits,
+        "cache_misses": misses,
+        "cache_hit_rate": (memory_hits + disk_hits) / lookups if lookups else 0.0,
+        "kernel_calls": sample_total(samples, "repro_scheduler_kernel_calls_total"),
+        "traces_simulated": sample_total(samples, "repro_scheduler_traces_simulated_total"),
+        "job_latency_p50_s": p50,
+        "job_latency_p95_s": p95,
+        "job_latency_p99_s": p99,
+        "jobs_by_status": by_status,
+        "recent_jobs": jobs[-8:],
+    }
+
+
+def _seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 1.0:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def render_snapshot(snapshot: Mapping[str, Any], endpoint: str) -> str:
+    """One dashboard frame as plain text (no terminal control codes)."""
+    lines = [
+        f"repro top — {endpoint}",
+        "",
+        (
+            f"queue depth {snapshot['queue_depth']:.0f}   "
+            f"inflight keys {snapshot['inflight_keys']:.0f}   "
+            f"submitted {snapshot['submitted']:.0f}   "
+            f"completed {snapshot['completed']:.0f}   "
+            f"cancelled {snapshot['cancelled']:.0f}"
+        ),
+        (
+            f"coalescing ratio {snapshot['coalescing_ratio']:.1%} "
+            f"({snapshot['coalesced_attached']:.0f} attached)   "
+            f"kernel calls {snapshot['kernel_calls']:.0f}   "
+            f"traces simulated {snapshot['traces_simulated']:.0f}"
+        ),
+        (
+            f"cache hit rate {snapshot['cache_hit_rate']:.1%} "
+            f"(memory {snapshot['cache_memory_hits']:.0f}, "
+            f"disk {snapshot['cache_disk_hits']:.0f}, "
+            f"misses {snapshot['cache_misses']:.0f})"
+        ),
+        (
+            f"job latency p50 {_seconds(snapshot['job_latency_p50_s'])}   "
+            f"p95 {_seconds(snapshot['job_latency_p95_s'])}   "
+            f"p99 {_seconds(snapshot['job_latency_p99_s'])}"
+        ),
+    ]
+    if snapshot["jobs_by_status"]:
+        counts = "   ".join(
+            f"{status} {count}" for status, count in sorted(snapshot["jobs_by_status"].items())
+        )
+        lines.append(f"jobs: {counts}")
+    recent = snapshot.get("recent_jobs") or []
+    if recent:
+        lines.append("")
+        lines.append(f"{'ID':10s} {'KIND':11s} {'STATUS':10s} {'QUEUED':>9s} {'RUN':>9s}  LABEL")
+        for job in recent:
+            queued = job.get("queued_seconds")
+            running = job.get("running_seconds")
+            lines.append(
+                f"{str(job.get('id', '?')):10s} "
+                f"{str(job.get('kind', '?')):11s} "
+                f"{str(job.get('status', '?')):10s} "
+                f"{_seconds(queued):>9s} "
+                f"{_seconds(running):>9s}  "
+                f"{str(job.get('label', ''))[:40]}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    endpoint: str,
+    interval: float = 2.0,
+    once: bool = False,
+    iterations: int | None = None,
+    stream: Any = None,
+) -> int:
+    """Poll and render until interrupted (or ``once`` / ``iterations`` runs out)."""
+    endpoint = endpoint.rstrip("/")
+    out = stream if stream is not None else sys.stdout
+    rendered = 0
+    while True:
+        try:
+            metrics_text = fetch_text(f"{endpoint}/metrics")
+            jobs_payload = fetch_json(f"{endpoint}/jobs")
+        except OSError as exc:
+            print(f"repro top: cannot reach {endpoint}: {exc}", file=sys.stderr)
+            return 1
+        frame = render_snapshot(build_snapshot(metrics_text, jobs_payload), endpoint)
+        if not once and stream is None and out.isatty():
+            out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+        out.write(frame + "\n")
+        out.flush()
+        rendered += 1
+        if once or (iterations is not None and rendered >= iterations):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -45,6 +45,8 @@ class TestBenchHarness:
             "per_config_sweep_wall_clock_s",
             "cross_config_speedup",
             "service_jobs_per_sec",
+            "service_job_latency_p50_s",
+            "service_job_latency_p95_s",
             "sim_entries_per_calib",
             "sweep_wall_clock_calib",
         }

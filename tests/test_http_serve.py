@@ -805,3 +805,131 @@ class TestRetryBackoff:
         assert _parse_retry_after("-3") is None
         assert _parse_retry_after("Wed, 21 Oct 2026 07:28:00 GMT") is None
         assert _parse_retry_after("86400") == RETRY_AFTER_CAP
+
+
+def _fetch_metrics(endpoint, headers=None):
+    """Raw GET /metrics returning (status, content_type, body text)."""
+    request = urllib.request.Request(
+        f"{endpoint}/metrics", headers=headers or {}, method="GET"
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, response.headers.get("Content-Type"), response.read().decode(
+            "utf-8"
+        )
+
+
+class TestMetricsAndTop:
+    """GET /metrics (Prometheus text) and the repro top dashboard."""
+
+    def _run_sweep(self, client, seed=47):
+        spec = SweepJobSpec(
+            base=sqdm_config(),
+            grid={"sparsity_threshold": [0.2, 0.4]},
+            trace=make_trace(seed),
+            baseline=dense_baseline_config(),
+            name="metrics-sweep",
+        )
+        return client.submit_sweep(spec).result(timeout=120)
+
+    def test_metrics_is_prometheus_text(self, served):
+        client, _, _, server = served
+        self._run_sweep(client)
+        status, content_type, text = _fetch_metrics(server.endpoint)
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        # every layer of the stack reports at least one family
+        for family in (
+            "repro_service_jobs_submitted_total",
+            "repro_service_jobs_completed_total",
+            "repro_service_job_duration_seconds",
+            "repro_service_queue_depth",
+            "repro_scheduler_kernel_calls_total",
+            "repro_scheduler_traces_simulated_total",
+            "repro_cache_misses_total",
+            "repro_kernel_duration_seconds",
+            "repro_http_requests_total",
+        ):
+            assert f"# TYPE {family} " in text, family
+        # histograms expose the full bucket/sum/count series
+        assert 'repro_service_job_duration_seconds_bucket{kind="sweep",le="+Inf"}' in text
+        assert "repro_service_job_duration_seconds_sum" in text
+
+    def test_metrics_bypasses_json_content_negotiation(self, served):
+        """Prometheus scrapers send text Accept headers; /metrics must not 406."""
+        _, _, _, server = served
+        status, content_type, _ = _fetch_metrics(
+            server.endpoint, headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+
+    def test_metrics_reconcile_with_service_stats(self, served):
+        """Counter deltas across one sweep match the per-instance stats exactly
+        (the registry is process-wide, so reconcile on before/after deltas)."""
+        from repro.serve.top import parse_prometheus, sample_total
+
+        client, service, _, server = served
+
+        def scrape():
+            return parse_prometheus(_fetch_metrics(server.endpoint)[2])
+
+        before = scrape()
+        self._run_sweep(client)
+        after = scrape()
+
+        def delta(name, **match):
+            return sample_total(after, name, **match) - sample_total(before, name, **match)
+
+        stats = service.service_stats()
+        assert stats["submitted"] == {"sweep": 1}
+        assert delta("repro_service_jobs_submitted_total", kind="sweep") == 1
+        assert delta("repro_service_jobs_completed_total", kind="sweep", status="done") == 1
+        # 2 grid points + 1 baseline = 3 unique design points, all cold
+        assert delta("repro_cache_misses_total") == service.cache.stats.misses == 3
+        assert delta("repro_scheduler_traces_simulated_total") == 3
+        assert stats["scheduler"]["traces_simulated"] == 3
+        assert delta("repro_scheduler_kernel_calls_total") >= 1
+        assert delta("repro_kernel_duration_seconds_count") >= 1
+        assert delta("repro_http_requests_total", method="GET", status="200") > 0
+
+    def test_job_payloads_carry_monotonic_timing(self, served):
+        client, _, _, server = served
+        self._run_sweep(client)
+        _, payload = _raw_request(server.endpoint, "/jobs")
+        (job,) = payload["jobs"]
+        assert job["status"] == "done"
+        assert job["queued_seconds"] >= 0.0
+        assert job["running_seconds"] > 0.0
+
+    def test_top_once_renders_live_dashboard(self, served):
+        import io
+
+        from repro.serve.top import run_top
+
+        client, _, _, server = served
+        self._run_sweep(client)
+        stream = io.StringIO()
+        assert run_top(server.endpoint, once=True, stream=stream) == 0
+        frame = stream.getvalue()
+        assert "queue depth" in frame
+        assert "coalescing ratio" in frame
+        assert "cache hit rate" in frame
+        assert "job latency p50" in frame and "p95" in frame and "p99" in frame
+        assert "p50 -" not in frame  # completed jobs -> real latency estimates
+        assert "metrics-sweep" in frame  # recent-jobs table shows the label
+
+    def test_cli_top_once(self, served, capsys):
+        client, _, _, server = served
+        self._run_sweep(client)
+        assert cli_main(["top", "--endpoint", server.endpoint, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "queue depth" in out
+
+    def test_top_unreachable_endpoint_fails_cleanly(self, capsys):
+        import io
+
+        from repro.serve.top import run_top
+
+        assert run_top("http://127.0.0.1:9", once=True, stream=io.StringIO()) == 1
+        assert "cannot reach" in capsys.readouterr().err
