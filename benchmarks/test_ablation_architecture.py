@@ -52,7 +52,10 @@ def test_ablation_accelerator_design_choices(benchmark, ctx):
         utilization = {}
         for derate in (0.6, 0.85, 1.0):
             config = AcceleratorConfig(
-                name=f"spe_util_{derate}", num_dpe=1, num_spe=1, pe=PEConfig(sparse_utilization=derate)
+                name=f"spe_util_{derate}",
+                num_dpe=1,
+                num_spe=1,
+                pe=PEConfig(sparse_utilization=derate),
             )
             utilization[derate] = AcceleratorSimulator(config).run_trace(quant_trace)
 
@@ -70,7 +73,10 @@ def test_ablation_accelerator_design_choices(benchmark, ctx):
     print(
         format_table(
             ["PE organization", "Speed-up vs dense baseline"],
-            [[name, format_speedup(baseline.total_cycles / rep.total_cycles)] for name, rep in organizations.items()],
+            [
+                [name, format_speedup(baseline.total_cycles / rep.total_cycles)]
+                for name, rep in organizations.items()
+            ],
             title="Ablation: PE organization (equal multiplier count)",
         )
     )
@@ -78,7 +84,10 @@ def test_ablation_accelerator_design_choices(benchmark, ctx):
     print(
         format_table(
             ["Sparse datapath utilization", "Speed-up vs dense baseline"],
-            [[derate, format_speedup(baseline.total_cycles / rep.total_cycles)] for derate, rep in utilization.items()],
+            [
+                [derate, format_speedup(baseline.total_cycles / rep.total_cycles)]
+                for derate, rep in utilization.items()
+            ],
             title="Ablation: SIGMA-like datapath utilization derating",
         )
     )
@@ -87,7 +96,10 @@ def test_ablation_accelerator_design_choices(benchmark, ctx):
     print(
         format_table(
             ["Precision", "Speed-up vs FP16 dense"],
-            [[name, format_speedup(fp16_cycles / rep.total_cycles)] for name, rep in precision.items()],
+            [
+                [name, format_speedup(fp16_cycles / rep.total_cycles)]
+                for name, rep in precision.items()
+            ],
             title="Ablation: uniform precisions vs the SQ-DM mixed-precision assignment",
         )
     )
@@ -99,7 +111,8 @@ def test_ablation_accelerator_design_choices(benchmark, ctx):
     sqdm_cycles = organizations["1x DPE + 1x SPE (SQ-DM)"].total_cycles
     assert sqdm_cycles < organizations["2x DPE (dense baseline)"].total_cycles
     # Better sparse-datapath utilization monotonically improves the speed-up.
-    assert utilization[1.0].total_cycles <= utilization[0.85].total_cycles <= utilization[0.6].total_cycles
-    # Precision ladder: INT8 ~2x, INT4 ~4x over FP16; mixed precision lands in between INT8 and INT4.
+    assert utilization[1.0].total_cycles <= utilization[0.85].total_cycles
+    assert utilization[0.85].total_cycles <= utilization[0.6].total_cycles
+    # Precision ladder: INT8 ~2x, INT4 ~4x over FP16; mixed precision lands between the two.
     assert precision["INT8"].total_cycles > precision["INT4"].total_cycles
     assert precision["INT4"].total_cycles <= baseline.total_cycles <= precision["INT8"].total_cycles

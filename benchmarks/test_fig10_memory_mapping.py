@@ -26,7 +26,9 @@ def test_fig10_channel_last_mapping(benchmark):
     rng = np.random.default_rng(1)
 
     def experiment():
-        workload = random_workload(in_channels=16, out_channels=8, spatial=8, mean_sparsity=0.7, seed=2)
+        workload = random_workload(
+            in_channels=16, out_channels=8, spatial=8, mean_sparsity=0.7, seed=2
+        )
         act_map = ActivationMapping(16, 8, 8)
         weight_map = WeightMapping(8, 16, 3, 3)
         generator = SparsityAwareAddressGenerator(act_map, weight_map)

@@ -16,7 +16,12 @@ from conftest import run_once
 
 from repro.analysis.tables import format_percentage, format_speedup, format_table
 from repro.core.policy import mixed_precision_policy
-from repro.core.scheduler import analyze_threshold, analyze_update_period, best_threshold, detection_overhead_fraction
+from repro.core.scheduler import (
+    analyze_threshold,
+    analyze_update_period,
+    best_threshold,
+    detection_overhead_fraction,
+)
 from repro.core.sparsity import trace_to_workloads
 
 THRESHOLDS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9]
@@ -40,10 +45,21 @@ def test_fig11_threshold_and_update_frequency(benchmark, ctx):
     print()
     print(
         format_table(
-            ["Threshold", "Sparse-group share", "Sparse-group sparsity", "Load imbalance", "Speed-up"],
             [
-                [p.threshold, format_percentage(p.sparse_fraction), format_percentage(p.sparse_group_sparsity),
-                 format_percentage(p.load_imbalance), format_speedup(p.speedup)]
+                "Threshold",
+                "Sparse-group share",
+                "Sparse-group sparsity",
+                "Load imbalance",
+                "Speed-up",
+            ],
+            [
+                [
+                    p.threshold,
+                    format_percentage(p.sparse_fraction),
+                    format_percentage(p.sparse_group_sparsity),
+                    format_percentage(p.load_imbalance),
+                    format_speedup(p.speedup),
+                ]
                 for p in threshold_points
             ],
             title="Fig. 11 (left): sparsity threshold analysis",
@@ -53,11 +69,17 @@ def test_fig11_threshold_and_update_frequency(benchmark, ctx):
     print(
         format_table(
             ["Update period (time steps)", "Speed-up", "Detector updates"],
-            [[p.update_period, format_speedup(p.speedup), p.updates_performed] for p in period_points],
+            [
+                [p.update_period, format_speedup(p.speedup), p.updates_performed]
+                for p in period_points
+            ],
             title="Fig. 11 (right): sparsity update frequency analysis",
         )
     )
-    print(f"detector energy overhead: {format_percentage(overhead)} of total (negligible, paper Sec. IV-C)")
+    print(
+        f"detector energy overhead: {format_percentage(overhead)} of total"
+        " (negligible, paper Sec. IV-C)"
+    )
 
     # A moderate threshold wins (the paper selects 30%).
     best = best_threshold(threshold_points)

@@ -26,7 +26,14 @@ def test_fig12_system_evaluation(benchmark, ctx):
     print()
     print(
         format_table(
-            ["Workload", "Avg sparsity", "Sparsity speed-up", "Energy saving", "Quant speed-up", "Total speed-up"],
+            [
+                "Workload",
+                "Avg sparsity",
+                "Sparsity speed-up",
+                "Energy saving",
+                "Quant speed-up",
+                "Total speed-up",
+            ],
             [
                 [DATASET_LABELS[row.workload], format_percentage(row.average_sparsity),
                  format_speedup(row.sparsity_speedup), format_percentage(row.energy_saving),

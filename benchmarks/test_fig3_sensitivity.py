@@ -21,8 +21,14 @@ def test_fig3_block_sensitivity(benchmark, ctx):
     print(
         format_table(
             ["Block (execution order)", "Proxy FID", "Delta vs all-MXINT8"],
-            [[b.block_name, b.fid, b.fid_delta] for b in sorted(report.blocks, key=lambda b: b.order)],
-            title=f"Fig. 3: block-wise sensitivity (reference all-MXINT8 FID = {report.reference_fid:.2f})",
+            [
+                [b.block_name, b.fid, b.fid_delta]
+                for b in sorted(report.blocks, key=lambda b: b.order)
+            ],
+            title=(
+                f"Fig. 3: block-wise sensitivity"
+                f" (reference all-MXINT8 FID = {report.reference_fid:.2f})"
+            ),
         )
     )
 

@@ -20,7 +20,13 @@ def test_fig6_quantization_level_utilization(benchmark):
         format_table(
             ["Activation", "Format", "Levels used", "Levels available", "Utilization"],
             [
-                [u.activation, u.format_name, u.levels_used, u.levels_available, format_percentage(u.utilization)]
+                [
+                    u.activation,
+                    u.format_name,
+                    u.levels_used,
+                    u.levels_available,
+                    format_percentage(u.utilization),
+                ]
                 for u in (silu_util, relu_util)
             ],
             title="Fig. 6: SiLU(x)/INT4 vs ReLU(x)/UINT4 level utilization (x in [-1, 1])",

@@ -27,7 +27,9 @@ def test_fig7_temporal_per_channel_sparsity(benchmark, ctx):
     print(f"Fig. 7: temporal per-channel sparsity map of {layer_name}")
     print("('#' = mostly-zero channel at that time step, '.' = dense channel)")
     print(render_ascii_map(binary))
-    print(f"average sparsity across all traced layers: {trace.average_sparsity():.2f} (paper: ~0.65)")
+    print(
+        f"average sparsity across all traced layers: {trace.average_sparsity():.2f} (paper: ~0.65)"
+    )
 
     # Channels differ: some sparse, some dense.
     per_channel = matrix.mean(axis=1)

@@ -38,13 +38,17 @@ def test_fig8_channel_group_computation_scheme(benchmark):
             x[:, classification.dense_channels], weight[:, classification.dense_channels], padding=1
         )
         sparse_part = F.conv2d(
-            x[:, classification.sparse_channels], weight[:, classification.sparse_channels], padding=1
+            x[:, classification.sparse_channels],
+            weight[:, classification.sparse_channels],
+            padding=1,
         )
         recombined = dense_part + sparse_part
 
         # Hardware benefit: one DPE + one SPE on the split groups versus one
         # DPE doing everything densely.
-        workload = random_workload(in_channels=32, out_channels=16, spatial=8, mean_sparsity=0.65, seed=1)
+        workload = random_workload(
+            in_channels=32, out_channels=16, spatial=8, mean_sparsity=0.65, seed=1
+        )
         cfg = sqdm_config()
         dpe = ProcessingElement("dpe0", "dense", cfg.pe, DEFAULT_ENERGY_TABLE)
         spe = ProcessingElement("spe0", "sparse", cfg.pe, DEFAULT_ENERGY_TABLE)

@@ -18,7 +18,12 @@ import pytest
 
 from conftest import run_once
 
-from repro.accelerator import AcceleratorSimulator, dense_baseline_config, random_workload, sqdm_config
+from repro.accelerator import (
+    AcceleratorSimulator,
+    dense_baseline_config,
+    random_workload,
+    sqdm_config,
+)
 from repro.analysis.tables import format_table
 from repro.core.artifacts import ArtifactStore
 from repro.core.report_cache import ReportCache

@@ -28,7 +28,11 @@ def test_table1_fid_by_format(benchmark, ctx):
     headers = ["Format"] + [DATASET_LABELS[w] for w in ctx.workloads()]
     rows = [[fmt] + [results[fmt][w] for w in ctx.workloads()] for fmt in FORMATS]
     print()
-    print(format_table(headers, rows, title="Table I: FID of existing formats (proxy FID, reduced scale)"))
+    print(
+        format_table(
+            headers, rows, title="Table I: FID of existing formats (proxy FID, reduced scale)"
+        )
+    )
 
     for workload in ctx.workloads():
         fp32 = results["FP32"][workload]

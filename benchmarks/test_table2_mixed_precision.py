@@ -19,8 +19,12 @@ def test_table2_quantized_model_comparison(benchmark, ctx):
         for workload in ctx.workloads():
             pipeline = ctx.pipeline(workload)
             rows.setdefault("INT4-VSQ", []).append(ctx.format_evaluation(workload, "INT4-VSQ"))
-            rows.setdefault("Ours (MP-only)", []).append(pipeline.evaluate_mixed_precision(relu=False))
-            rows.setdefault("Ours (MP+ReLU)", []).append(pipeline.evaluate_mixed_precision(relu=True))
+            rows.setdefault("Ours (MP-only)", []).append(
+                pipeline.evaluate_mixed_precision(relu=False)
+            )
+            rows.setdefault("Ours (MP+ReLU)", []).append(
+                pipeline.evaluate_mixed_precision(relu=True)
+            )
         return rows
 
     rows = run_once(benchmark, experiment)
@@ -32,9 +36,17 @@ def test_table2_quantized_model_comparison(benchmark, ctx):
     for scheme, evals in rows.items():
         comp = sum(e.compute_saving for e in evals) / len(evals)
         mem = sum(e.memory_saving for e in evals) / len(evals)
-        table_rows.append([scheme, format_percentage(comp), format_percentage(mem)] + [e.fid for e in evals])
+        table_rows.append(
+            [scheme, format_percentage(comp), format_percentage(mem)] + [e.fid for e in evals]
+        )
     print()
-    print(format_table(headers, table_rows, title="Table II: FID of quantized models (proxy FID, reduced scale)"))
+    print(
+        format_table(
+            headers,
+            table_rows,
+            title="Table II: FID of quantized models (proxy FID, reduced scale)",
+        )
+    )
 
     for i, workload in enumerate(ctx.workloads()):
         vsq = rows["INT4-VSQ"][i].fid

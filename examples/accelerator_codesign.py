@@ -78,7 +78,17 @@ def main() -> None:
          format_speedup(fp16_dense.total_cycles / int4_sqdm.total_cycles),
          format_percentage(1 - int4_sqdm.total_energy.total_pj / int4_dense.total_energy.total_pj)],
     ]
-    print(format_table(["Configuration", "Latency (ms)", "Speed-up vs FP16 dense", "Energy saving vs INT4 dense"], rows))
+    print(
+        format_table(
+            [
+                "Configuration",
+                "Latency (ms)",
+                "Speed-up vs FP16 dense",
+                "Energy saving vs INT4 dense",
+            ],
+            rows,
+        )
+    )
 
     print("\n== Sensitivity to workload sparsity ==")
 
@@ -101,13 +111,20 @@ def main() -> None:
             SweepSpec(name="sparsity-sensitivity", grid={"mean_sparsity": [0.3, 0.5, 0.65, 0.8]}),
             executor=pool,
         )
-        print(format_table(["Avg activation sparsity", "Speed-up vs dense", "Energy saving"], sweep.values()))
+        print(
+            format_table(
+                ["Avg activation sparsity", "Speed-up vs dense", "Energy saving"], sweep.values()
+            )
+        )
 
         print("\n== Scaling the PE array ==")
 
         def scaling_point(multipliers: int) -> list:
             config = AcceleratorConfig(
-                name=f"sqdm-{multipliers}", num_dpe=1, num_spe=1, pe=PEConfig(multipliers=multipliers)
+                name=f"sqdm-{multipliers}",
+                num_dpe=1,
+                num_spe=1,
+                pe=PEConfig(multipliers=multipliers),
             )
             report = AcceleratorSimulator(config).run_trace(trace)
             return [multipliers, report.total_time_ms, f"{report.total_energy.total_uj:.1f}"]
@@ -118,7 +135,10 @@ def main() -> None:
             executor=pool,
         )
         print(format_table(["Multipliers per PE", "Latency (ms)", "Energy (uJ)"], sweep.values()))
-    print("\n(The architecture 'is scalable to meet specific latency and power requirements' — Sec. IV-D.)")
+    print(
+        "\n(The architecture 'is scalable to meet specific latency and power requirements'"
+        " — Sec. IV-D.)"
+    )
 
 
 if __name__ == "__main__":

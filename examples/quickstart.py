@@ -36,15 +36,28 @@ def main() -> None:
             ["Scheme", "Proxy FID", "Compute saving", "Memory saving"],
             [
                 ["FP32 baseline", baseline.fid, "-", "-"],
-                ["INT4-VSQ", int4_vsq.fid, format_percentage(int4_vsq.compute_saving), format_percentage(int4_vsq.memory_saving)],
-                ["Ours (MP+ReLU)", ours.fid, format_percentage(ours.compute_saving), format_percentage(ours.memory_saving)],
+                [
+                    "INT4-VSQ",
+                    int4_vsq.fid,
+                    format_percentage(int4_vsq.compute_saving),
+                    format_percentage(int4_vsq.memory_saving),
+                ],
+                [
+                    "Ours (MP+ReLU)",
+                    ours.fid,
+                    format_percentage(ours.compute_saving),
+                    format_percentage(ours.memory_saving),
+                ],
             ],
         )
     )
 
     print("\n== Step 2: temporal per-channel sparsity ==")
     trace = pipeline.collect_trace(relu=True)
-    print(f"average activation sparsity of the ReLU model: {trace.average_sparsity():.2f} (paper: ~0.65)")
+    print(
+        f"average activation sparsity of the ReLU model: {trace.average_sparsity():.2f}"
+        " (paper: ~0.65)"
+    )
 
     print("\n== Step 3: accelerator simulation ==")
     hardware = pipeline.evaluate_hardware(trace=trace)
@@ -52,9 +65,21 @@ def main() -> None:
         format_table(
             ["Metric", "Value", "Paper"],
             [
-                ["speed-up from temporal sparsity (vs dense 2-DPE)", format_speedup(hardware.sparsity_speedup), "1.83x"],
-                ["system energy saving", format_percentage(hardware.sparsity_energy_saving), "51.5%"],
-                ["speed-up from 4-bit quantization (vs FP16)", format_speedup(hardware.quantization_speedup), "3.78x"],
+                [
+                    "speed-up from temporal sparsity (vs dense 2-DPE)",
+                    format_speedup(hardware.sparsity_speedup),
+                    "1.83x",
+                ],
+                [
+                    "system energy saving",
+                    format_percentage(hardware.sparsity_energy_saving),
+                    "51.5%",
+                ],
+                [
+                    "speed-up from 4-bit quantization (vs FP16)",
+                    format_speedup(hardware.quantization_speedup),
+                    "3.78x",
+                ],
                 ["total speed-up vs FP16 dense", format_speedup(hardware.total_speedup), "6.91x"],
             ],
         )

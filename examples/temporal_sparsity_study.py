@@ -38,10 +38,20 @@ def main() -> None:
         format_table(
             ["Activation", "min", "negative frac", "exact-zero frac", "4-bit levels used"],
             [
-                ["SiLU", silu_summary.minimum, silu_summary.negative_fraction, silu_summary.zero_fraction,
-                 f"{silu_util.levels_used}/{silu_util.levels_available} (INT4)"],
-                ["ReLU", relu_summary.minimum, relu_summary.negative_fraction, relu_summary.zero_fraction,
-                 f"{relu_util.levels_used}/{relu_util.levels_available} (UINT4)"],
+                [
+                    "SiLU",
+                    silu_summary.minimum,
+                    silu_summary.negative_fraction,
+                    silu_summary.zero_fraction,
+                    f"{silu_util.levels_used}/{silu_util.levels_available} (INT4)",
+                ],
+                [
+                    "ReLU",
+                    relu_summary.minimum,
+                    relu_summary.negative_fraction,
+                    relu_summary.zero_fraction,
+                    f"{relu_util.levels_used}/{relu_util.levels_available} (UINT4)",
+                ],
             ],
         )
     )

@@ -1,4 +1,4 @@
-"""SQ-DM reproduction: accelerating diffusion models with aggressive quantization and temporal sparsity.
+"""SQ-DM reproduction: diffusion models under aggressive quantization and temporal sparsity.
 
 The package is organized by subsystem:
 

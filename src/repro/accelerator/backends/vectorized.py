@@ -159,6 +159,26 @@ def _config_hops(config: AcceleratorConfig, energy_table: EnergyTable) -> np.nda
     return cached
 
 
+def _segment_sums(rows: np.ndarray, starts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Per-segment column sums with strictly sequential association.
+
+    Accumulates ``((row0 + row1) + row2)...`` for each segment — the exact
+    float operation sequence of the reference backend's per-step loop — by
+    adding one row per still-open segment per iteration, vectorized across
+    segments.  Because each segment's sum depends only on its own rows and
+    length, the result is bit-identical no matter how the surrounding batch
+    is shaped (fused sweep, per-config fleet partition, or solo run), which
+    ``np.add.reduceat``'s pairwise trees are not.  Empty segments sum to 0.
+    The loop runs max(sizes) times — layers per step / steps per trace, both
+    small — over fancy-indexed gathers, so it stays O(rows) work overall.
+    """
+    sums = np.zeros((len(starts), rows.shape[1]), dtype=rows.dtype)
+    for offset in range(int(sizes.max()) if len(sizes) else 0):
+        open_segments = sizes > offset
+        sums[open_segments] += rows[starts[open_segments] + offset]
+    return sums
+
+
 def _zero_report(config: AcceleratorConfig, trace: "list[list[ConvLayerWorkload]]"):
     from ..simulator import SimulationReport, StepResult
 
@@ -480,14 +500,16 @@ def _run_config_traces_impl(
     ]
 
     # Step boundaries in the flattened (config-major, trace-major) entry
-    # order.  ``np.add.reduceat`` sums each step's rows *sequentially* — the
-    # same float operation sequence as the reference loop and as a solo
-    # single-trace run, so batched per-step sums are bit-identical, not
-    # merely close.  Two reduceat quirks need handling: an empty segment
-    # (start == next start) yields the row *at* the start index instead of 0
-    # (zeroed afterwards via the mask), and the final segment runs to the end
-    # of the array, so a sentinel zero row both keeps trailing empty steps'
-    # start indices in range and pads the last step's sum with an exact +0.
+    # order.  Per-step sums must use the reference loop's *sequential*
+    # association ((l0 + l1) + l2)... so batched results are bit-identical to
+    # a solo run of the same trace, not merely close.  ``np.add.reduceat``
+    # does NOT guarantee that: it sums segments pairwise, and its implicit
+    # final segment runs to the end of the array, so the same step sums over
+    # a different tree depending on where it lands in the batch — a one-ulp
+    # divergence between a fleet worker's single-config partition and the
+    # fused sweep.  :func:`_segment_sums` accumulates one row per segment
+    # per iteration instead: sequential association per segment, vectorized
+    # across segments, and independent of the surrounding batch shape.
     step_sizes = np.array(
         [len(step) for _, traces in entries for trace in traces for step in trace],
         dtype=np.int64,
@@ -499,18 +521,14 @@ def _run_config_traces_impl(
         [len(trace) for _, traces in entries for trace in traces], dtype=np.int64
     )
     if len(step_sizes):
-        padded = np.vstack([stacked, np.zeros((1, stacked.shape[1]))])
-        sums = np.add.reduceat(padded, starts, axis=0)
-        sums[step_sizes == 0] = 0.0
+        sums = _segment_sums(stacked, starts, step_sizes)
         per_step = sums.tolist()
-        # Same trick one level up: per-trace totals are sequential sums of
+        # Same shape one level up: per-trace totals are sequential sums of
         # the per-step rows, reproducing the reference loop's association
         # (total = ((s0 + s1) + s2)...) bit for bit.
         trace_ends = np.cumsum(trace_steps)
         trace_starts = trace_ends - trace_steps
-        padded_sums = np.vstack([sums, np.zeros((1, sums.shape[1]))])
-        totals = np.add.reduceat(padded_sums, trace_starts, axis=0)
-        totals[trace_steps == 0] = 0.0
+        totals = _segment_sums(sums, trace_starts, trace_steps)
         per_trace = totals.tolist()
     else:
         per_step = []

@@ -97,7 +97,9 @@ class AcceleratorController:
 
     # -- execution ---------------------------------------------------------------
 
-    def execute_layer(self, workload: ConvLayerWorkload, time_step: int = 0) -> LayerExecutionResult:
+    def execute_layer(
+        self, workload: ConvLayerWorkload, time_step: int = 0
+    ) -> LayerExecutionResult:
         """Execute one convolution layer, returning its latency and energy."""
         classification = self.classify(workload, time_step)
 
@@ -145,7 +147,9 @@ class AcceleratorController:
         working_set = workload.weight_bytes() + workload.input_bytes() + workload.output_bytes()
         if not self.global_buffer.fits(working_set):
             spill_bytes = working_set - self.global_buffer.capacity_bytes
-            energy = energy + EnergyBreakdown(dram_pj=spill_bytes * self.energy_table.dram_pj_per_byte)
+            energy = energy + EnergyBreakdown(
+                dram_pj=spill_bytes * self.energy_table.dram_pj_per_byte
+            )
 
         # Compute/communication overlap: operand streaming is double-buffered, so
         # the layer latency is dominated by the slower of compute and NoC.

@@ -54,7 +54,9 @@ class ActivationMapping:
         """Flatten a (C, H, W) tensor into channel-last address order."""
         tensor = np.asarray(tensor)
         if tensor.shape != (self.channels, self.height, self.width):
-            raise ValueError(f"expected shape {(self.channels, self.height, self.width)}, got {tensor.shape}")
+            raise ValueError(
+                f"expected shape {(self.channels, self.height, self.width)}, got {tensor.shape}"
+            )
         return tensor.reshape(-1)
 
 

@@ -111,7 +111,9 @@ class ProcessingElement:
             num_channels=num_channels,
         )
 
-    def _add_ppu_energy(self, result: DatapathResult, workload: ConvLayerWorkload) -> EnergyBreakdown:
+    def _add_ppu_energy(
+        self, result: DatapathResult, workload: ConvLayerWorkload
+    ) -> EnergyBreakdown:
         """Charge the PPU's temporal sparsity detector for scanning the output channels."""
         detector_energy = workload.out_channels * self.energy_table.detector_pj_per_channel
         return result.energy + EnergyBreakdown(detector_pj=detector_energy)

@@ -38,7 +38,9 @@ class ActivationDistribution:
     bin_edges: np.ndarray
 
 
-def distribution_summary(values: np.ndarray, activation: str, bins: int = 64) -> ActivationDistribution:
+def distribution_summary(
+    values: np.ndarray, activation: str, bins: int = 64
+) -> ActivationDistribution:
     """Histogram + summary statistics of a flattened activation tensor."""
     flat = np.asarray(values, dtype=np.float64).ravel()
     histogram, bin_edges = np.histogram(flat, bins=bins)
@@ -56,7 +58,11 @@ def distribution_summary(values: np.ndarray, activation: str, bins: int = 64) ->
 
 
 def compare_activation_distributions(
-    model: EDMUNet, relu_model: EDMUNet, block_name: str | None = None, batch: int = 2, seed: int = 0
+    model: EDMUNet,
+    relu_model: EDMUNet,
+    block_name: str | None = None,
+    batch: int = 2,
+    seed: int = 0,
 ) -> tuple[ActivationDistribution, ActivationDistribution]:
     """Fig. 5: distribution of one Conv+SiLU layer's output vs its Conv+ReLU twin.
 
@@ -65,7 +71,12 @@ def compare_activation_distributions(
     accelerator consumes).
     """
     rng = np.random.default_rng(seed)
-    shape = (batch, model.config.in_channels, model.config.img_resolution, model.config.img_resolution)
+    shape = (
+        batch,
+        model.config.in_channels,
+        model.config.img_resolution,
+        model.config.img_resolution,
+    )
     x = rng.normal(size=shape)
     noise_cond = np.full(batch, 0.1)
 
@@ -139,23 +150,36 @@ def silu_minimum() -> float:
     return float(F.SILU_MIN)
 
 
-def measure_model_sparsity(model: EDMUNet, batch: int = 2, zero_tolerance_rel: float = 0.0, seed: int = 0) -> float:
+def measure_model_sparsity(
+    model: EDMUNet, batch: int = 2, zero_tolerance_rel: float = 0.0, seed: int = 0
+) -> float:
     """Average activation sparsity of a model on random noisy inputs.
 
     Used to reproduce the Sec. III-C claim: ~10% for the SiLU model under a
     quantization-aware zero tolerance, ~65% for the ReLU model.
     """
     rng = np.random.default_rng(seed)
-    shape = (batch, model.config.in_channels, model.config.img_resolution, model.config.img_resolution)
+    shape = (
+        batch,
+        model.config.in_channels,
+        model.config.img_resolution,
+        model.config.img_resolution,
+    )
     x = rng.normal(size=shape)
     model.set_recording(True)
     try:
         model(x, np.full(batch, 0.1))
         values = []
         for _, module in model.named_modules():
-            if isinstance(module, Activation) and module.last_output is not None and module.last_output.ndim == 4:
+            if (
+                isinstance(module, Activation)
+                and module.last_output is not None
+                and module.last_output.ndim == 4
+            ):
                 out = module.last_output
-                tol = zero_tolerance_rel * float(np.max(np.abs(out))) if zero_tolerance_rel > 0 else 0.0
+                tol = 0.0
+                if zero_tolerance_rel > 0:
+                    tol = zero_tolerance_rel * float(np.max(np.abs(out)))
                 values.append(float(np.mean(np.abs(out) <= tol)))
     finally:
         model.set_recording(False)

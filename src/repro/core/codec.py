@@ -303,7 +303,8 @@ class Encoder:
 def _is_plain_value(obj: Any) -> bool:
     return isinstance(
         obj,
-        (type(None), bool, int, float, str, bytes, bytearray, list, tuple, dict, np.ndarray, np.generic),
+        (type(None), bool, int, float, str, bytes, bytearray, list, tuple, dict, np.ndarray,
+         np.generic),
     )
 
 
@@ -325,7 +326,9 @@ class Decoder:
                 raise SchemaError(f"invalid base64 payload: {exc}") from None
         index = payload.get("buffer") if isinstance(payload, Mapping) else None
         if not isinstance(index, int) or isinstance(index, bool):
-            raise SchemaError(f"binary payload needs base64 data or a 'buffer' index, got {payload!r}")
+            raise SchemaError(
+                f"binary payload needs base64 data or a 'buffer' index, got {payload!r}"
+            )
         if self.buffers is None or not 0 <= index < len(self.buffers):
             have = 0 if self.buffers is None else len(self.buffers)
             raise SchemaError(f"binary buffer {index} out of range ({have} sidecar buffer(s))")
@@ -336,7 +339,9 @@ class Decoder:
         if isinstance(doc, (list, tuple)):
             return np.asarray(doc, dtype=dtype)
         if not (isinstance(doc, Mapping) and NDARRAY_KEY in doc):
-            raise SchemaError(f"expected an array ({NDARRAY_KEY} or list), got {type(doc).__name__}")
+            raise SchemaError(
+                f"expected an array ({NDARRAY_KEY} or list), got {type(doc).__name__}"
+            )
         ref = doc[NDARRAY_KEY]
         if not isinstance(ref, Mapping):
             raise SchemaError(f"malformed {NDARRAY_KEY} reference: {ref!r}")

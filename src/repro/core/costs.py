@@ -128,7 +128,10 @@ def layer_cost_table(model: EDMUNet) -> list[LayerCost]:
                 activation_elements=float(conv.in_channels * res * res),
             )
         )
-    for name, layer in (("unet.emb_linear0", model.emb_linear0), ("unet.emb_linear1", model.emb_linear1)):
+    for name, layer in (
+        ("unet.emb_linear0", model.emb_linear0),
+        ("unet.emb_linear1", model.emb_linear1),
+    ):
         costs.append(
             LayerCost(
                 layer_name=name,
@@ -148,7 +151,9 @@ def _compute_weight(weight_spec: QuantFormatSpec, act_spec: QuantFormatSpec) -> 
     return bits / 16.0
 
 
-def _memory_weight(weight_spec: QuantFormatSpec, act_spec: QuantFormatSpec, weight_elems: float, act_elems: float) -> float:
+def _memory_weight(
+    weight_spec: QuantFormatSpec, act_spec: QuantFormatSpec, weight_elems: float, act_elems: float
+) -> float:
     """Stored bits of a layer's weights + activations, including scale overhead."""
     return weight_elems * weight_spec.bits_per_value() + act_elems * act_spec.bits_per_value()
 
@@ -177,7 +182,9 @@ def cost_summary(
         else:
             weight_spec = act_spec = baseline_spec
         compute += cost.macs * _compute_weight(weight_spec, act_spec)
-        memory += _memory_weight(weight_spec, act_spec, cost.weight_elements, cost.activation_elements)
+        memory += _memory_weight(
+            weight_spec, act_spec, cost.weight_elements, cost.activation_elements
+        )
         baseline_compute += cost.macs * _compute_weight(baseline_spec, baseline_spec)
         baseline_memory += _memory_weight(
             baseline_spec, baseline_spec, cost.weight_elements, cost.activation_elements

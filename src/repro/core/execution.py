@@ -837,9 +837,18 @@ def _make_remote(endpoint: Any = None, service: Any = None, **_: Any) -> Executo
     return RemoteExecutor(endpoint=endpoint, client=service)
 
 
+def _make_worker_pool(cache: Any = None, max_workers: Any = None, **_: Any) -> Executor:
+    # A self-contained fleet: worker-dispatch service + loopback HTTP server
+    # + N in-process workers pulling over the real lease/heartbeat protocol.
+    from ..serve.worker import WorkerPoolExecutor
+
+    return WorkerPoolExecutor(num_workers=max_workers or 2, cache=cache)
+
+
 register_executor("inline", _make_inline)
 register_executor("serial", _make_inline)  # legacy run_sweep spelling
 register_executor("thread", _make_thread)
 register_executor("process", _make_process)
 register_executor("service", _make_service)
 register_executor("remote", _make_remote)
+register_executor("worker-pool", _make_worker_pool)

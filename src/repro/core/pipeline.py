@@ -215,7 +215,9 @@ class SQDMPipeline:
 
     # -- quality evaluation ------------------------------------------------------
 
-    def evaluate_policy(self, policy: QuantizationPolicy | None, scheme_name: str | None = None) -> QuantizationEvaluation:
+    def evaluate_policy(
+        self, policy: QuantizationPolicy | None, scheme_name: str | None = None
+    ) -> QuantizationEvaluation:
         """Generate images under a quantization policy and score them with FID."""
         relu = bool(policy is not None and policy.requires_relu)
         model = self._model_for(relu)
@@ -267,7 +269,9 @@ class SQDMPipeline:
             _policy_fingerprint(policy),
         )
 
-    def collect_trace(self, relu: bool = True, policy: QuantizationPolicy | None = None) -> TemporalSparsityTrace:
+    def collect_trace(
+        self, relu: bool = True, policy: QuantizationPolicy | None = None
+    ) -> TemporalSparsityTrace:
         """Collect the temporal per-channel sparsity trace for this workload.
 
         Tracing replays the whole sampling trajectory, which dominates

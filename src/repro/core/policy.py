@@ -76,7 +76,9 @@ class QuantizationPolicy:
             layer = layer_index.get(layer_name)
             if layer is None:
                 raise KeyError(f"policy refers to unknown layer {layer_name!r}")
-            layer.weight_spec = assignment.weight_spec if assignment.weight_spec.is_quantized else None
+            layer.weight_spec = (
+                assignment.weight_spec if assignment.weight_spec.is_quantized else None
+            )
             layer.act_spec = assignment.act_spec if assignment.act_spec.is_quantized else None
 
     def clear(self, model: EDMUNet) -> None:
@@ -148,7 +150,9 @@ def sensitive_block_names(model: EDMUNet, num_boundary_blocks: int = 1) -> set[s
     return names
 
 
-def uniform_policy(model: EDMUNet, spec: QuantFormatSpec, name: str | None = None) -> QuantizationPolicy:
+def uniform_policy(
+    model: EDMUNet, spec: QuantFormatSpec, name: str | None = None
+) -> QuantizationPolicy:
     """Quantize every layer's weights and activations with one format (Table I rows)."""
     policy = QuantizationPolicy(name=name or spec.name)
     for layer_name in _quantizable_layers(model):

@@ -62,9 +62,12 @@ def analyze_threshold(
     paper reports ~70% at the chosen 30% threshold), the dense/sparse load
     imbalance, and the end-to-end speed-up versus the dense 2-DPE baseline.
     """
-    thresholds = thresholds if thresholds is not None else [round(t, 2) for t in np.arange(0.1, 0.95, 0.1)]
+    if thresholds is None:
+        thresholds = [round(t, 2) for t in np.arange(0.1, 0.95, 0.1)]
     base_config = base_config or sqdm_config()
-    baseline_report = AcceleratorSimulator(dense_baseline_config(pe=base_config.pe)).run_trace(trace)
+    baseline_report = AcceleratorSimulator(
+        dense_baseline_config(pe=base_config.pe)
+    ).run_trace(trace)
 
     points = []
     for threshold in thresholds:
@@ -83,7 +86,9 @@ def analyze_threshold(
             ThresholdAnalysisPoint(
                 threshold=float(threshold),
                 sparse_fraction=float(np.mean(sparse_fractions)) if sparse_fractions else 0.0,
-                sparse_group_sparsity=float(np.mean(sparse_sparsities)) if sparse_sparsities else 0.0,
+                sparse_group_sparsity=(
+                    float(np.mean(sparse_sparsities)) if sparse_sparsities else 0.0
+                ),
                 dense_group_sparsity=float(np.mean(dense_sparsities)) if dense_sparsities else 0.0,
                 load_imbalance=report.average_load_imbalance(),
                 speedup=safe_speedup(baseline_report.total_cycles, report.total_cycles),
@@ -113,7 +118,9 @@ def analyze_update_period(
     """
     periods = periods if periods is not None else [1, 2, 4, 8, 16]
     base_config = base_config or sqdm_config()
-    baseline_report = AcceleratorSimulator(dense_baseline_config(pe=base_config.pe)).run_trace(trace)
+    baseline_report = AcceleratorSimulator(
+        dense_baseline_config(pe=base_config.pe)
+    ).run_trace(trace)
 
     points = []
     for period in periods:

@@ -219,7 +219,9 @@ def trace_to_workloads(
     ]
 
 
-def sparsity_map(trace: TemporalSparsityTrace, layer_name: str, threshold: float = 0.5) -> np.ndarray:
+def sparsity_map(
+    trace: TemporalSparsityTrace, layer_name: str, threshold: float = 0.5
+) -> np.ndarray:
     """Binary channel x time-step map: 1 where a channel is mostly zero (Fig. 7).
 
     The paper renders zero values in black and non-zero in white per pixel;

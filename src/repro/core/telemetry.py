@@ -545,7 +545,9 @@ class Span:
 
     __slots__ = ("name", "attrs", "start", "end", "parent", "children")
 
-    def __init__(self, name: str, attrs: dict[str, Any] | None = None, parent: "Span | None" = None):
+    def __init__(
+        self, name: str, attrs: dict[str, Any] | None = None, parent: "Span | None" = None
+    ):
         self.name = name
         self.attrs = attrs or {}
         self.start = time.monotonic()

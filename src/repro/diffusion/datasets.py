@@ -107,7 +107,9 @@ class SyntheticImageDataset:
     denoiser.
     """
 
-    def __init__(self, spec: DatasetSpec, paper_resolution: bool = False, resolution: int | None = None):
+    def __init__(
+        self, spec: DatasetSpec, paper_resolution: bool = False, resolution: int | None = None
+    ):
         self.spec = spec
         if resolution is not None:
             self.resolution = int(resolution)
@@ -155,7 +157,9 @@ class SyntheticImageDataset:
         return self.prior.sample_labels(num_samples, rng)
 
 
-def load_dataset(name: str, paper_resolution: bool = False, resolution: int | None = None) -> SyntheticImageDataset:
+def load_dataset(
+    name: str, paper_resolution: bool = False, resolution: int | None = None
+) -> SyntheticImageDataset:
     """Instantiate one of the four synthetic workload datasets by name."""
     try:
         spec = DATASET_SPECS[name]

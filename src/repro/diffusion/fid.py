@@ -88,7 +88,9 @@ def compute_statistics(features: np.ndarray) -> FeatureStatistics:
     return FeatureStatistics(mean=mean, cov=np.atleast_2d(cov), num_samples=features.shape[0])
 
 
-def frechet_distance(stats1: FeatureStatistics, stats2: FeatureStatistics, eps: float = 1e-6) -> float:
+def frechet_distance(
+    stats1: FeatureStatistics, stats2: FeatureStatistics, eps: float = 1e-6
+) -> float:
     """Fréchet distance between two feature Gaussians."""
     mu1, mu2 = stats1.mean, stats2.mean
     cov1, cov2 = stats1.cov, stats2.cov
@@ -107,7 +109,9 @@ def frechet_distance(stats1: FeatureStatistics, stats2: FeatureStatistics, eps: 
 class FIDEvaluator:
     """Convenience wrapper that caches reference statistics per dataset."""
 
-    def __init__(self, feature_extractor: RandomFeatureExtractor | None = None, scale: float = 100.0):
+    def __init__(
+        self, feature_extractor: RandomFeatureExtractor | None = None, scale: float = 100.0
+    ):
         self.extractor = feature_extractor or RandomFeatureExtractor()
         self.scale = float(scale)
         self._reference: FeatureStatistics | None = None

@@ -50,7 +50,9 @@ def _per_channel_stats(activation: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return flat.mean(axis=1), flat.std(axis=1)
 
 
-def _collect_conv_stats(model: EDMUNet, batch: CalibrationBatch) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+def _collect_conv_stats(
+    model: EDMUNet, batch: CalibrationBatch
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
     """Run the model and collect per-channel output stats for every block conv."""
     model.set_recording(True)
     try:

@@ -119,7 +119,9 @@ class Conv2d(Module):
         self.stride = stride
         self.padding = kernel_size // 2 if padding is None else padding
         fan_in = in_channels * kernel_size * kernel_size
-        self.weight = rng.normal(0.0, 1.0 / np.sqrt(fan_in), (out_channels, in_channels, kernel_size, kernel_size))
+        self.weight = rng.normal(
+            0.0, 1.0 / np.sqrt(fan_in), (out_channels, in_channels, kernel_size, kernel_size)
+        )
         self.bias = np.zeros(out_channels) if bias else None
         self.weight_spec: QuantFormatSpec | None = None
         self.act_spec: QuantFormatSpec | None = None
@@ -229,7 +231,13 @@ class Upsample(Module):
 class SelfAttention2d(Module):
     """Single-head image self-attention over spatial positions (EDM attention block)."""
 
-    def __init__(self, channels: int, num_heads: int = 1, name: str = "", rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        channels: int,
+        num_heads: int = 1,
+        name: str = "",
+        rng: np.random.Generator | None = None,
+    ):
         super().__init__(name=name)
         rng = rng or np.random.default_rng(0)
         if channels % num_heads != 0:

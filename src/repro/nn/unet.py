@@ -142,14 +142,20 @@ class UNetBlock(Module):
         """The Conv+Act convolutions (quantized to 4-bit in the SQ-DM policy)."""
         return [self.conv0, self.conv1]
 
-    def component_costs(self, spatial: tuple[int, int], batch: int = 1) -> dict[str, dict[str, float]]:
+    def component_costs(
+        self, spatial: tuple[int, int], batch: int = 1
+    ) -> dict[str, dict[str, float]]:
         """MAC and parameter/activation element counts by component category."""
         height, width = spatial
         costs: dict[str, dict[str, float]] = {}
         conv_macs = (self.conv0.macs(spatial) + self.conv1.macs(spatial)) * batch
         conv_params = self.conv0.weight.size + self.conv1.weight.size
         conv_acts = batch * (self.in_channels + 2 * self.out_channels) * height * width
-        costs[BLOCK_CONV] = {"macs": float(conv_macs), "params": float(conv_params), "acts": float(conv_acts)}
+        costs[BLOCK_CONV] = {
+            "macs": float(conv_macs),
+            "params": float(conv_params),
+            "acts": float(conv_acts),
+        }
 
         emb_macs = self.emb_linear.macs(batch)
         costs[BLOCK_EMBEDDING] = {
@@ -165,7 +171,11 @@ class UNetBlock(Module):
                 "acts": float(batch * self.out_channels * height * width),
             }
         else:
-            costs[BLOCK_SKIP] = {"macs": 0.0, "params": 0.0, "acts": float(batch * self.out_channels * height * width)}
+            costs[BLOCK_SKIP] = {
+                "macs": 0.0,
+                "params": 0.0,
+                "acts": float(batch * self.out_channels * height * width),
+            }
 
         if self.attention is not None:
             costs[BLOCK_ATTENTION] = {
@@ -235,7 +245,14 @@ class EDMUNet(Module):
                 )
                 self.enc_blocks.append(block)
                 self._block_infos.append(
-                    BlockInfo(name=name, block=block, resolution=resolution, stage="enc", index=i, order=order)
+                    BlockInfo(
+                        name=name,
+                        block=block,
+                        resolution=resolution,
+                        stage="enc",
+                        index=i,
+                        order=order,
+                    )
                 )
                 order += 1
                 channels = out_ch
@@ -263,7 +280,14 @@ class EDMUNet(Module):
                 )
                 self.dec_blocks.append(block)
                 self._block_infos.append(
-                    BlockInfo(name=name, block=block, resolution=resolution, stage="dec", index=i, order=order)
+                    BlockInfo(
+                        name=name,
+                        block=block,
+                        resolution=resolution,
+                        stage="dec",
+                        index=i,
+                        order=order,
+                    )
                 )
                 order += 1
                 channels = out_ch
@@ -272,7 +296,9 @@ class EDMUNet(Module):
 
         self.norm_out = GroupNorm(channels, name="norm_out")
         self.act_out = Activation(config.activation, name="act_out")
-        self.conv_out = Conv2d(channels, config.out_channels, kernel_size=3, name="conv_out", rng=rng)
+        self.conv_out = Conv2d(
+            channels, config.out_channels, kernel_size=3, name="conv_out", rng=rng
+        )
 
         self._annotate_spatial()
 
@@ -320,11 +346,15 @@ class EDMUNet(Module):
         return layers
 
     def attention_modules(self) -> list[SelfAttention2d]:
-        return [info.block.attention for info in self._block_infos if info.block.attention is not None]
+        return [
+            info.block.attention for info in self._block_infos if info.block.attention is not None
+        ]
 
     # -- execution ----------------------------------------------------------
 
-    def compute_embedding(self, noise_cond: np.ndarray, labels: np.ndarray | None = None) -> np.ndarray:
+    def compute_embedding(
+        self, noise_cond: np.ndarray, labels: np.ndarray | None = None
+    ) -> np.ndarray:
         """Noise-level (and optional class-label) embedding vector."""
         emb = F.positional_embedding(noise_cond, self.config.model_channels)
         emb = self.emb_linear0(emb)
@@ -361,7 +391,9 @@ class EDMUNet(Module):
             for _ in range(self.config.num_blocks_per_res):
                 skip = skips.pop()
                 if skip.shape[2] != h.shape[2]:
-                    skip = F.downsample2x(skip) if skip.shape[2] > h.shape[2] else F.upsample2x(skip)
+                    skip = (
+                        F.downsample2x(skip) if skip.shape[2] > h.shape[2] else F.upsample2x(skip)
+                    )
                 h = next(dec_iter)(np.concatenate([h, skip], axis=1), emb)
             if level > 0:
                 h = next(up_iter)(h)
@@ -390,9 +422,13 @@ class EDMUNet(Module):
 
         # Stem convolutions and the embedding MLP count toward Skip/Embedding.
         res = self.config.img_resolution
-        totals[BLOCK_SKIP]["macs"] += batch * (self.conv_in.macs((res, res)) + self.conv_out.macs((res, res)))
+        totals[BLOCK_SKIP]["macs"] += batch * (
+            self.conv_in.macs((res, res)) + self.conv_out.macs((res, res))
+        )
         totals[BLOCK_SKIP]["params"] += self.conv_in.weight.size + self.conv_out.weight.size
-        totals[BLOCK_SKIP]["acts"] += batch * (self.config.model_channels + self.config.out_channels) * res * res
+        totals[BLOCK_SKIP]["acts"] += (
+            batch * (self.config.model_channels + self.config.out_channels) * res * res
+        )
         for layer in (self.emb_linear0, self.emb_linear1):
             totals[BLOCK_EMBEDDING]["macs"] += batch * layer.macs(1)
             totals[BLOCK_EMBEDDING]["params"] += layer.weight.size

@@ -73,7 +73,9 @@ def quantize_along_channels(x: np.ndarray, spec: QuantFormatSpec, channel_axis: 
     return np.moveaxis(out, -1, channel_axis)
 
 
-def apply_weight_format(weight: np.ndarray, spec: QuantFormatSpec, out_channel_axis: int = 0) -> np.ndarray:
+def apply_weight_format(
+    weight: np.ndarray, spec: QuantFormatSpec, out_channel_axis: int = 0
+) -> np.ndarray:
     """Quantize a weight tensor under ``spec``.
 
     Coarse-grained formats (the plain INT8/INT4 rows of Table I) use one
@@ -88,7 +90,9 @@ def apply_weight_format(weight: np.ndarray, spec: QuantFormatSpec, out_channel_a
     if spec.granularity in (ScaleGranularity.PER_TENSOR, ScaleGranularity.PER_CHANNEL):
         granularity = spec.granularity
         if granularity is ScaleGranularity.PER_CHANNEL:
-            return fake_quantize(weight, spec.element, granularity=granularity, axis=out_channel_axis)
+            return fake_quantize(
+                weight, spec.element, granularity=granularity, axis=out_channel_axis
+            )
         return fake_quantize(weight, spec.element, granularity=granularity)
     # Fine-grained: vectors run along the reduction dimension.  Flatten all
     # non-output-channel axes to the end so blocks span (Cin, kH, kW).

@@ -26,6 +26,15 @@ traffic*, not as one script.  This package provides the service layer:
 ``repro.serve.workers``
     Module-level job functions for the process pool, registered as wire
     functions so clients can invoke them by name.
+``repro.serve.fleet``
+    :class:`WorkerFleet` — the lease-tracking dispatch queue behind
+    ``repro serve --dispatch workers``: pull-based workers register, claim
+    tasks under heartbeat-renewed leases, and a missed heartbeat requeues
+    the task for another worker.
+``repro.serve.worker``
+    :class:`WorkerRuntime` (the ``repro worker`` pull loop) and
+    :class:`WorkerPoolExecutor` (the fleet as a self-contained
+    ``--executor worker-pool`` backend).
 ``repro.serve.http``
     :class:`EvaluationHTTPServer` — the stdlib REST front end: remote
     clients POST typed job specs as plain, versioned JSON (no pickles on
@@ -62,8 +71,10 @@ from ..core.execution import (
     resolve_executor,
 )
 from .client import RemoteEvaluationClient, RemoteJob, RemoteServiceError
+from .fleet import FleetTask, WorkerFleet, WorkerInfo
 from .http import EvaluationHTTPServer, start_http_server
 from .jobs import Job, JobFailedError, JobKind, JobStatus
+from .worker import WorkerPoolExecutor, WorkerRuntime, run_worker
 from .scheduler import BatchStats, SimulationRequest, coalesce_requests, run_batched
 from .service import EvaluationService
 from .specs import (
@@ -81,6 +92,7 @@ __all__ = [
     "EvaluationHTTPServer",
     "EvaluationService",
     "Executor",
+    "FleetTask",
     "InlineExecutor",
     "Job",
     "JobFailedError",
@@ -99,10 +111,15 @@ __all__ = [
     "SimulationRequest",
     "SweepJobResult",
     "SweepJobSpec",
+    "WorkerFleet",
+    "WorkerInfo",
+    "WorkerPoolExecutor",
+    "WorkerRuntime",
     "coalesce_requests",
     "register_executor",
     "register_wire_function",
     "resolve_executor",
     "run_batched",
+    "run_worker",
     "start_http_server",
 ]

@@ -451,6 +451,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         max_workers=args.max_workers,
         process_workers=args.process_workers,
+        worker_fleet=args.dispatch == "workers",
+        lease_seconds=args.lease_seconds,
     )
     server = EvaluationHTTPServer(
         (args.host, args.port),
@@ -459,6 +461,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_request_bytes=args.max_request_bytes,
     )
     print(f"repro serve: listening on {server.endpoint}", flush=True)
+    if service.fleet is not None:
+        print(
+            "repro serve: dispatching simulation jobs to pull workers "
+            f"(lease {service.fleet.lease_seconds:g}s; start them with "
+            f"`repro worker --endpoint {server.endpoint}`)",
+            flush=True,
+        )
     if store is not None:
         policy = f"max_bytes={store.max_bytes} ttl_seconds={store.ttl_seconds}"
         print(f"repro serve: artifact store at {store.root} ({policy})", flush=True)
@@ -476,6 +485,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close(cancel_queued=True)
     return 0
+
+
+# -- repro worker ---------------------------------------------------------------
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .worker import run_worker
+
+    return run_worker(
+        args.endpoint,
+        name=args.name,
+        concurrency=args.concurrency,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        chaos_hold_seconds=args.chaos_hold_seconds,
+    )
 
 
 # -- repro top ------------------------------------------------------------------
@@ -724,7 +749,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="structured JSON event log on stderr: access records at info, "
         "job lifecycle and spans at debug (default: $REPRO_LOG, else off)",
     )
+    serve.add_argument(
+        "--dispatch",
+        choices=["pool", "workers"],
+        default="pool",
+        help="simulation dispatch: 'pool' runs in this server's thread pool; "
+        "'workers' queues tasks for pull-based `repro worker` processes with "
+        "lease/heartbeat liveness (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="with --dispatch workers: how long a claimed task survives "
+        "without a heartbeat before it is requeued (default: %(default)s)",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull-based fleet worker for a `repro serve --dispatch workers` server",
+    )
+    worker.add_argument(
+        "--endpoint",
+        required=True,
+        metavar="URL",
+        help="base URL of the dispatching server",
+    )
+    worker.add_argument(
+        "--name",
+        default=None,
+        help="fleet-visible identity; re-registering it after a restart "
+        "retires the previous incarnation (default: hostname-pid)",
+    )
+    worker.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="puller threads / concurrent leases (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="requested lease length; the server's answer is authoritative "
+        "(default: the server's --lease-seconds)",
+    )
+    worker.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="long-poll window per claim request (default: %(default)s)",
+    )
+    worker.add_argument(
+        "--chaos-hold-seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="fault injection for chaos testing: hold each claimed task this "
+        "long (heartbeating) before simulating, so a SIGKILL lands mid-lease",
+    )
+    worker.set_defaults(fn=_cmd_worker)
 
     top = sub.add_parser(
         "top", help="live dashboard of a running server (/metrics + /jobs)"

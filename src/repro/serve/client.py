@@ -238,8 +238,15 @@ class RemoteEvaluationClient:
             delay = max(delay, retry_after)
         return delay
 
-    def _request(self, method: str, path: str, payload: dict[str, Any] | None = None) -> Any:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> Any:
         url = f"{self.endpoint}{path}"
+        request_timeout = self.timeout if timeout is None else timeout
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last_error: Exception | None = None
         for attempt in range(self.retries):
@@ -255,7 +262,7 @@ class RemoteEvaluationClient:
             )
             began = time.monotonic()
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                with urllib.request.urlopen(request, timeout=request_timeout) as response:
                     decoded = json.loads(response.read().decode("utf-8"))
                 _REQUEST_SECONDS.observe(
                     time.monotonic() - began, method=method, outcome="ok"
@@ -312,8 +319,11 @@ class RemoteEvaluationClient:
         except Exception:  # noqa: BLE001 - error body is best-effort
             message = ""
         message = message or f"HTTP {exc.code}"
-        if exc.code == 404 and path.startswith("/jobs/"):
-            return KeyError(message)  # parity with EvaluationService.job
+        if exc.code == 404 and path.startswith(("/jobs/", "/workers/")):
+            # Parity with EvaluationService.job / WorkerFleet lookups; for a
+            # worker this is its cue to re-register (server restarted, or a
+            # newer incarnation retired it).
+            return KeyError(message)
         return RemoteServiceError(f"{method} {path} failed: {message} (HTTP {exc.code})")
 
     # -- submission -------------------------------------------------------------
@@ -472,6 +482,64 @@ class RemoteEvaluationClient:
         if ttl_seconds is not None:
             body["ttl_seconds"] = ttl_seconds
         return self._request("POST", "/cache/evict", body)
+
+    # -- worker fleet protocol --------------------------------------------------
+    #
+    # The pull-worker side of `repro serve --dispatch workers`: register,
+    # long-poll claims, heartbeat leases, post results.  404s raise KeyError —
+    # the worker's cue to re-register (see repro.serve.worker).
+
+    def register_worker(
+        self, name: str, concurrency: int = 1, lease_seconds: float | None = None
+    ) -> dict[str, Any]:
+        """Register with the server's fleet; returns the lease contract
+        (``worker_id``, ``lease_seconds``, ``heartbeat_seconds``)."""
+        body: dict[str, Any] = {"name": name, "concurrency": concurrency}
+        if lease_seconds is not None:
+            body["lease_seconds"] = lease_seconds
+        return self._request("POST", "/workers/register", body)
+
+    def claim_tasks(
+        self, worker_id: str, max_tasks: int = 1, wait_seconds: float = 0.0
+    ) -> list[dict[str, Any]]:
+        """Long-poll for up to ``max_tasks`` leased task payloads."""
+        payload = self._request(
+            "POST",
+            f"/workers/{worker_id}/claim",
+            {"max_tasks": max_tasks, "wait_seconds": wait_seconds},
+            # The server may hold the request open for the whole long-poll.
+            timeout=self.timeout + wait_seconds,
+        )
+        return list(payload["tasks"])
+
+    def worker_heartbeat(self, worker_id: str) -> dict[str, Any]:
+        """Renew every lease this worker holds."""
+        return self._request("POST", f"/workers/{worker_id}/heartbeat", {})
+
+    def complete_task(
+        self,
+        worker_id: str,
+        task_id: str,
+        reports: list[dict[str, Any]] | None = None,
+        error: str | None = None,
+    ) -> bool:
+        """Post a task result (codec-encoded report envelopes) or an error.
+
+        False means the lease was lost first (expired and requeued, or a
+        duplicate) — the server kept nothing; another worker owns the retry.
+        """
+        body: dict[str, Any] = {"task_id": task_id}
+        if error is not None:
+            body["error"] = error
+        else:
+            body["reports"] = reports or []
+        return bool(
+            self._request("POST", f"/workers/{worker_id}/complete", body)["accepted"]
+        )
+
+    def workers(self) -> dict[str, Any]:
+        """The server's fleet summary (``GET /workers``)."""
+        return self._request("GET", "/workers")
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -297,6 +297,8 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(self._get_job, parts[1], with_result)
         elif parts == ["cache", "stats"]:
             self._dispatch(self._get_cache_stats)
+        elif parts == ["workers"]:
+            self._dispatch(self._get_workers)
         else:
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -306,6 +308,14 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(self._post_job)
         elif parts == ["cache", "evict"]:
             self._dispatch(self._post_cache_evict)
+        elif parts == ["workers", "register"]:
+            self._dispatch(self._post_worker_register)
+        elif len(parts) == 3 and parts[0] == "workers" and parts[2] == "claim":
+            self._dispatch(self._post_worker_claim, parts[1])
+        elif len(parts) == 3 and parts[0] == "workers" and parts[2] == "heartbeat":
+            self._dispatch(self._post_worker_heartbeat, parts[1])
+        elif len(parts) == 3 and parts[0] == "workers" and parts[2] == "complete":
+            self._dispatch(self._post_worker_complete, parts[1])
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -425,6 +435,85 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
             "store": self.server.store.summary() if self.server.store is not None else None,
         }
         return 200, payload
+
+    # -- worker fleet -----------------------------------------------------------
+
+    def _fleet(self) -> Any:
+        fleet = getattr(self.server.service, "fleet", None)
+        if fleet is None:
+            raise _HTTPError(
+                409,
+                "this server dispatches to its in-process pool, not to pull "
+                "workers; restart it with `repro serve --dispatch workers`",
+            )
+        return fleet
+
+    def _post_worker_register(self) -> tuple[int, dict[str, Any]]:
+        fleet = self._fleet()
+        body = self._read_json()
+        name = str(body.get("name") or "")
+        if not name:
+            raise _HTTPError(400, "worker registration needs a non-empty 'name'")
+        lease = body.get("lease_seconds")
+        try:
+            worker = fleet.register(
+                name,
+                concurrency=int(body.get("concurrency") or 1),
+                lease_seconds=None if lease is None else float(lease),
+            )
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, f"cannot register worker: {exc}") from None
+        return 201, {
+            "worker_id": worker.id,
+            "name": worker.name,
+            "lease_seconds": worker.lease_seconds,
+            # The contract, not a suggestion: heartbeat at least this often.
+            "heartbeat_seconds": worker.lease_seconds / 3.0,
+            "wire_version": codec.WIRE_VERSION,
+        }
+
+    def _post_worker_claim(self, worker_id: str) -> tuple[int, dict[str, Any]]:
+        fleet = self._fleet()
+        body = self._read_json()
+        try:
+            tasks = fleet.claim(
+                worker_id,
+                max_tasks=int(body.get("max_tasks") or 1),
+                wait_seconds=float(body.get("wait_seconds") or 0.0),
+            )
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, f"bad claim request: {exc}") from None
+        return 200, {"tasks": tasks}
+
+    def _post_worker_heartbeat(self, worker_id: str) -> tuple[int, dict[str, Any]]:
+        return 200, self._fleet().heartbeat(worker_id)
+
+    def _post_worker_complete(self, worker_id: str) -> tuple[int, dict[str, Any]]:
+        fleet = self._fleet()
+        body = self._read_json()
+        task_id = str(body.get("task_id") or "")
+        if not task_id:
+            raise _HTTPError(400, "completion needs a 'task_id'")
+        error = body.get("error")
+        reports = None
+        if error is None:
+            encoded = body.get("reports")
+            if not isinstance(encoded, list):
+                raise _HTTPError(400, "completion needs 'reports' (a list) or 'error'")
+            try:
+                reports = [codec.decode(item) for item in encoded]
+            except codec.SchemaError as exc:
+                raise _HTTPError(400, f"malformed report envelope: {exc}") from None
+        try:
+            accepted = fleet.complete(
+                worker_id, task_id, reports=reports, error=None if error is None else str(error)
+            )
+        except ValueError as exc:
+            raise _HTTPError(400, str(exc)) from None
+        return 200, {"task_id": task_id, "accepted": accepted}
+
+    def _get_workers(self) -> tuple[int, dict[str, Any]]:
+        return 200, self._fleet().summary()
 
     def _post_cache_evict(self) -> tuple[int, dict[str, Any]]:
         store = self.server.store

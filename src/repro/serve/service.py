@@ -49,8 +49,15 @@ from ..accelerator.simulator import WorkloadTrace
 from ..core import telemetry
 from ..core.execution import ensure_picklable
 from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
+from .fleet import WorkerFleet
 from .jobs import Job, JobKind, JobStatus
-from .scheduler import BatchStats, SimulationRequest, coalesce_requests, run_batched
+from .scheduler import (
+    BatchStats,
+    SimulationRequest,
+    _config_partitions,
+    coalesce_requests,
+    run_batched,
+)
 from .specs import (
     CallableJobSpec,
     QualityJobSpec,
@@ -162,6 +169,15 @@ class EvaluationService:
         forever; beyond the limit the oldest terminal jobs are forgotten.
         Job handles returned by ``submit_*`` keep working regardless — only
         id-based lookup of old jobs ages out.
+    worker_fleet:
+        ``True`` dispatches simulation work to pull-based remote workers (a
+        :class:`~repro.serve.fleet.WorkerFleet` with lease/heartbeat
+        liveness) instead of the in-process thread pool.  Cache hits are
+        still served locally, so warm restarts and single-flight coalescing
+        work fleet-wide; only misses ship to workers, one task per
+        configuration partition so a sweep scales across the fleet.
+    lease_seconds:
+        Default worker lease length when ``worker_fleet`` is enabled.
 
     Use as a context manager, or call :meth:`close`; shutdown cancels jobs
     still queued and waits for running ones.
@@ -173,6 +189,8 @@ class EvaluationService:
         max_workers: int | None = None,
         process_workers: int | None = None,
         history_limit: int = 1024,
+        worker_fleet: bool = False,
+        lease_seconds: float = 30.0,
     ):
         if history_limit < 0:
             raise ValueError("history_limit must be >= 0")
@@ -194,6 +212,17 @@ class EvaluationService:
         # in flight -> follower sinks attached to it (completed with the batch).
         self._inflight: dict[CacheKey, list[Any]] = {}
         self._inflight_lock = threading.Lock()
+        #: Pull-based dispatch: when set, simulation misses become fleet tasks
+        #: that registered workers claim over HTTP (see repro.serve.fleet).
+        self.fleet: WorkerFleet | None = (
+            WorkerFleet(
+                lease_seconds=lease_seconds,
+                prepare=self._claim_group,
+                deliver=self._complete_fleet_group,
+            )
+            if worker_fleet
+            else None
+        )
         self.coalesced_attached = 0
         self.cancelled_count = 0
         #: How the scheduler carved the simulation traffic into kernel calls
@@ -466,6 +495,7 @@ class EvaluationService:
             "closed": closed,
             "scheduler": self.batch_stats.as_dict(),
             "cache": self.cache.summary(),
+            "fleet": self.fleet.summary() if self.fleet is not None else None,
         }
 
     def wait_all(self, jobs: Iterable[Job] | None = None, timeout: float | None = None) -> bool:
@@ -536,7 +566,10 @@ class EvaluationService:
         sinks_by_request = {id(request): sink for sink, request in leaders}
         for group in coalesce_requests([request for _, request in leaders]):
             group_sinks = [sinks_by_request[id(request)] for request in group]
-            self._threads.submit(self._run_simulation_group, group_sinks, group)
+            if self.fleet is not None:
+                self._dispatch_fleet_group(group_sinks, group)
+            else:
+                self._threads.submit(self._run_simulation_group, group_sinks, group)
 
     def _expand_sweep(self, job: Job, payload: Any) -> list[tuple[Any, SimulationRequest]]:
         """Turn one queued sweep job into per-case sinks for the scheduler.
@@ -551,12 +584,14 @@ class EvaluationService:
         aggregate = _SweepAggregate(job, spec, len(requests))
         return [(_SweepSink(aggregate, index), request) for index, request in enumerate(requests)]
 
-    def _run_simulation_group(self, sinks: list[Any], requests: list[SimulationRequest]) -> None:
-        # Claim each leader; a sink whose job was cancelled between
-        # coalescing and this point is skipped.  Its key stays registered
-        # only if followers already attached (they still need the result) —
-        # otherwise it is unregistered so later identical requests simulate
-        # freshly.
+    def _claim_group(
+        self, sinks: list[Any], requests: list[SimulationRequest]
+    ) -> tuple[list[Any | None], list[SimulationRequest]]:
+        """Claim each leader sink; a sink whose job was cancelled between
+        coalescing and this point is skipped.  Its key stays registered only
+        if followers already attached (they still need the result) —
+        otherwise it is unregistered so later identical requests simulate
+        freshly."""
         live_sinks: list[Any | None] = []
         live_requests: list[SimulationRequest] = []
         with self._inflight_lock:
@@ -569,6 +604,58 @@ class EvaluationService:
                     live_requests.append(request)
                 else:
                     self._inflight.pop(request.key(), None)
+        return live_sinks, live_requests
+
+    def _dispatch_fleet_group(
+        self, sinks: list[Any], requests: list[SimulationRequest]
+    ) -> None:
+        """Route one coalesced group to the pull-worker fleet.
+
+        Cache hits complete immediately on the server — fleet dispatch must
+        not cost a round trip for work a warm restart already has.  Misses
+        are split per configuration partition so a sweep's grid spreads
+        across however many workers are polling, not onto one.
+        """
+        assert self.fleet is not None
+        miss_sinks: dict[int, Any] = {}
+        misses: list[SimulationRequest] = []
+        for sink, request in zip(sinks, requests):
+            cached = self.cache.lookup_key(request.key())
+            if cached is not None:
+                live = sink.claim()
+                self._finish_group([sink if live else None], [request], reports=[cached])
+            else:
+                miss_sinks[id(request)] = sink
+                misses.append(request)
+        for partition in _config_partitions(misses):
+            self.fleet.offer([miss_sinks[id(r)] for r in partition], partition)
+
+    def _complete_fleet_group(
+        self,
+        sinks: list[Any | None],
+        requests: list[SimulationRequest],
+        reports: list[Any] | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Fleet completion hook: land worker results in the shared cache
+        (artifact store included — warm restarts see fleet work), then
+        complete the sinks and any coalesced followers."""
+        if error is not None:
+            self._finish_group(sinks, requests, error=error)
+            return
+        assert reports is not None
+        canonical = [
+            self.cache.insert_key(request.key(), report)
+            for request, report in zip(requests, reports)
+        ]
+        self.batch_stats.record_group(
+            num_configs=len({request.key()[0] for request in requests}),
+            num_traces=len(requests),
+        )
+        self._finish_group(sinks, requests, reports=canonical)
+
+    def _run_simulation_group(self, sinks: list[Any], requests: list[SimulationRequest]) -> None:
+        live_sinks, live_requests = self._claim_group(sinks, requests)
         if not live_requests:
             return
         for sink in live_sinks:
@@ -675,6 +762,10 @@ class EvaluationService:
                 self._queue = []
             self._condition.notify_all()
         self._scheduler.join()
+        if self.fleet is not None:
+            # After the scheduler drained, no new tasks can be offered; fail
+            # whatever the fleet still holds so no job waits forever.
+            self.fleet.close()
         self._threads.shutdown(wait=True)
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)

@@ -158,6 +158,24 @@ def build_snapshot(metrics_text: str, jobs_payload: Mapping[str, Any]) -> dict[s
         by_status[job.get("status", "?")] = by_status.get(job.get("status", "?"), 0) + 1
 
     return {
+        # Fleet numbers are None (and the fleet line hidden) on servers that
+        # dispatch to their in-process pool instead of pull workers.
+        "fleet": (
+            {
+                "workers_alive": sample_total(samples, "repro_fleet_workers_alive"),
+                "fleet_queue_depth": sample_total(samples, "repro_fleet_queue_depth"),
+                "leases_expired": sample_total(samples, "repro_fleet_leases_expired_total"),
+                "tasks_requeued": sample_total(samples, "repro_fleet_jobs_requeued_total"),
+                "tasks_completed": sample_total(
+                    samples, "repro_fleet_tasks_completed_total", outcome="accepted"
+                ),
+                "completions_rejected": sample_total(
+                    samples, "repro_fleet_tasks_completed_total", outcome="rejected"
+                ),
+            }
+            if "repro_fleet_workers_alive" in samples
+            else None
+        ),
         "queue_depth": sample_total(samples, "repro_service_queue_depth"),
         "inflight_keys": sample_total(samples, "repro_service_inflight_keys"),
         "submitted": sample_total(samples, "repro_service_jobs_submitted_total"),
@@ -219,6 +237,16 @@ def render_snapshot(snapshot: Mapping[str, Any], endpoint: str) -> str:
             f"p99 {_seconds(snapshot['job_latency_p99_s'])}"
         ),
     ]
+    fleet = snapshot.get("fleet")
+    if fleet is not None:
+        lines.append(
+            f"fleet: {fleet['workers_alive']:.0f} workers alive   "
+            f"queued {fleet['fleet_queue_depth']:.0f}   "
+            f"completed {fleet['tasks_completed']:.0f}   "
+            f"leases expired {fleet['leases_expired']:.0f}   "
+            f"requeued {fleet['tasks_requeued']:.0f}   "
+            f"rejected {fleet['completions_rejected']:.0f}"
+        )
     if snapshot["jobs_by_status"]:
         counts = "   ".join(
             f"{status} {count}" for status, count in sorted(snapshot["jobs_by_status"].items())

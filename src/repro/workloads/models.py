@@ -156,7 +156,9 @@ def _inject_weight_outliers(
     return weight
 
 
-def _calibrate_block(block, boundary_weight: float, spec: WorkloadSpec, rng: np.random.Generator) -> None:
+def _calibrate_block(
+    block, boundary_weight: float, spec: WorkloadSpec, rng: np.random.Generator
+) -> None:
     """Apply outlier, sparsity-offset and temporal-shift calibration to one block."""
     for conv in block.conv_layers():
         conv.weight = _inject_weight_outliers(
@@ -173,7 +175,9 @@ def _calibrate_block(block, boundary_weight: float, spec: WorkloadSpec, rng: np.
     # Embedding projection: gives each channel a noise-level-dependent shift so
     # per-channel sparsity evolves across time steps (temporal sparsity, Fig. 7).
     emb = block.emb_linear
-    emb.weight = rng.normal(0.0, spec.temporal_shift_scale / np.sqrt(emb.in_features), emb.weight.shape)
+    emb.weight = rng.normal(
+        0.0, spec.temporal_shift_scale / np.sqrt(emb.in_features), emb.weight.shape
+    )
     emb.bias = rng.normal(0.0, 0.1, emb.out_features)
 
 
@@ -198,10 +202,16 @@ def build_unet(spec: WorkloadSpec, resolution: int, activation: str = "silu") ->
     # Stem convolutions sit directly in pixel space: give them the strongest
     # outliers, mirroring the high sensitivity of the first/last layers.
     unet.conv_in.weight = _inject_weight_outliers(
-        unet.conv_in.weight, spec.outlier_fraction, spec.outlier_magnitude * spec.boundary_sensitivity, rng
+        unet.conv_in.weight,
+        spec.outlier_fraction,
+        spec.outlier_magnitude * spec.boundary_sensitivity,
+        rng,
     )
     unet.conv_out.weight = _inject_weight_outliers(
-        unet.conv_out.weight, spec.outlier_fraction, spec.outlier_magnitude * spec.boundary_sensitivity, rng
+        unet.conv_out.weight,
+        spec.outlier_fraction,
+        spec.outlier_magnitude * spec.boundary_sensitivity,
+        rng,
     )
     return unet
 

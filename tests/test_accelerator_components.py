@@ -97,7 +97,8 @@ class TestEnergy:
 
     def test_memory_hierarchy_energy_ordering(self):
         table = DEFAULT_ENERGY_TABLE
-        assert table.local_buffer_pj_per_byte < table.global_buffer_pj_per_byte < table.dram_pj_per_byte
+        assert table.local_buffer_pj_per_byte < table.global_buffer_pj_per_byte
+        assert table.global_buffer_pj_per_byte < table.dram_pj_per_byte
 
 
 class TestMemoryMapping:
@@ -252,7 +253,9 @@ class TestDatapaths:
         assert dp.throughput_macs_per_cycle(4) == 4 * dp.throughput_macs_per_cycle(16)
 
     def test_dense_cycles_proportional_to_macs(self):
-        dp = DenseDatapath(PEConfig(multipliers=128, pipeline_overhead_cycles=0), DEFAULT_ENERGY_TABLE)
+        dp = DenseDatapath(
+            PEConfig(multipliers=128, pipeline_overhead_cycles=0), DEFAULT_ENERGY_TABLE
+        )
         small = dp.execute(128 * 100, 4, 4, 0, 0, 0)
         large = dp.execute(128 * 200, 4, 4, 0, 0, 0)
         assert large.cycles == pytest.approx(2 * small.cycles)
@@ -363,7 +366,9 @@ class TestProcessingElement:
         assert result.macs_skipped == 0
 
     def test_sparse_pe_skips_work(self):
-        workload = random_workload(in_channels=8, out_channels=8, spatial=4, mean_sparsity=0.8, seed=3)
+        workload = random_workload(
+            in_channels=8, out_channels=8, spatial=4, mean_sparsity=0.8, seed=3
+        )
         pe = ProcessingElement("spe0", "sparse", PEConfig(), DEFAULT_ENERGY_TABLE)
         result = pe.process_channel_group(workload, np.arange(8))
         assert result.macs_executed < workload.total_macs

@@ -21,7 +21,9 @@ from repro.nn.layers import Conv2d
 
 class TestWorkloadDescriptor:
     def test_total_macs(self):
-        w = ConvLayerWorkload("l", in_channels=8, out_channels=16, kernel_size=3, out_height=4, out_width=4)
+        w = ConvLayerWorkload(
+            "l", in_channels=8, out_channels=16, kernel_size=3, out_height=4, out_width=4
+        )
         assert w.total_macs == 8 * 16 * 9 * 16
         assert w.macs_per_input_channel == 16 * 9 * 16
 
@@ -147,7 +149,10 @@ class TestPaperComparisons:
         assert 0.3 < comparison.energy_saving < 0.75
 
     def test_no_speedup_without_sparsity(self):
-        trace = [[random_workload(mean_sparsity=0.02, sparsity_spread=0.01, seed=s) for s in range(2)] for _ in range(2)]
+        trace = [
+            [random_workload(mean_sparsity=0.02, sparsity_spread=0.01, seed=s) for s in range(2)]
+            for _ in range(2)
+        ]
         comparison = compare_to_dense_baseline(trace)
         assert comparison.speedup < 1.2
 
@@ -174,6 +179,12 @@ class TestPaperComparisons:
         assert total > quant_only  # sparsity adds on top of quantization
 
     def test_more_sparsity_more_speedup(self):
-        low = [[random_workload(mean_sparsity=0.4, seed=s, name=f"l{s}") for s in range(2)] for _ in range(2)]
-        high = [[random_workload(mean_sparsity=0.8, seed=s, name=f"l{s}") for s in range(2)] for _ in range(2)]
+        low = [
+            [random_workload(mean_sparsity=0.4, seed=s, name=f"l{s}") for s in range(2)]
+            for _ in range(2)
+        ]
+        high = [
+            [random_workload(mean_sparsity=0.8, seed=s, name=f"l{s}") for s in range(2)]
+            for _ in range(2)
+        ]
         assert compare_to_dense_baseline(high).speedup > compare_to_dense_baseline(low).speedup

@@ -146,13 +146,20 @@ class TestDistributions:
 
 class TestSpeedupRollups:
     def _fake_hardware(self):
-        from repro.accelerator import AcceleratorSimulator, dense_baseline_config, random_workload, sqdm_config
+        from repro.accelerator import (
+            AcceleratorSimulator,
+            dense_baseline_config,
+            random_workload,
+            sqdm_config,
+        )
         from repro.accelerator.simulator import retime_trace_precision
 
         trace = [[random_workload(mean_sparsity=0.65, seed=s)] for s in range(2)]
         quant = AcceleratorSimulator(sqdm_config()).run_trace(trace)
         dense = AcceleratorSimulator(dense_baseline_config()).run_trace(trace)
-        fp16 = AcceleratorSimulator(dense_baseline_config()).run_trace(retime_trace_precision(trace, 16, 16))
+        fp16 = AcceleratorSimulator(dense_baseline_config()).run_trace(
+            retime_trace_precision(trace, 16, 16)
+        )
         return HardwareEvaluation(
             workload="cifar10",
             sqdm_report=quant,

@@ -25,7 +25,9 @@ from repro.accelerator import (
 RTOL = 1e-9
 
 
-def random_trace(rng: np.random.Generator, steps: int, layers: int) -> list[list[ConvLayerWorkload]]:
+def random_trace(
+    rng: np.random.Generator, steps: int, layers: int
+) -> list[list[ConvLayerWorkload]]:
     """A randomized trace: per-layer geometry fixed across steps (as in real
     traces — stale detector classifications index the layer's channels),
     per-step sparsity and per-layer precision randomized."""
@@ -105,7 +107,8 @@ class TestBackendRegistry:
 
     def test_facade_exposes_backend_name(self):
         assert AcceleratorSimulator(sqdm_config(), backend="reference").backend_name == "reference"
-        assert AcceleratorSimulator(sqdm_config(), backend="vectorized").backend_name == "vectorized"
+        simulator = AcceleratorSimulator(sqdm_config(), backend="vectorized")
+        assert simulator.backend_name == "vectorized"
 
 
 class TestVectorizedEquivalence:
@@ -122,7 +125,9 @@ class TestVectorizedEquivalence:
             sqdm_config(sparsity_threshold=0.7),
             sqdm_config(global_buffer_kib=1),  # forces DRAM spills
         ],
-        ids=lambda c: f"{c.name}-p{c.sparsity_update_period}-t{c.sparsity_threshold}-g{c.global_buffer_kib}",
+        ids=lambda c: (
+            f"{c.name}-p{c.sparsity_update_period}-t{c.sparsity_threshold}-g{c.global_buffer_kib}"
+        ),
     )
     @pytest.mark.parametrize("trial", range(3))
     def test_randomized_traces_match(self, config, trial):
@@ -248,7 +253,8 @@ class TestCrossConfigBatching:
         assert [len(reports) for reports in batched] == [0, 2, 3]
         assert batched[1][0].total_cycles == 0.0 and batched[1][0].step_results == []
         assert len(batched[2][1].step_results) == 1  # one empty step survives
-        for config, index in ((dense_baseline_config(), 1), (sqdm_config(sparsity_threshold=0.7), 0)):
+        cases = ((dense_baseline_config(), 1), (sqdm_config(sparsity_threshold=0.7), 0))
+        for config, index in cases:
             solo = AcceleratorSimulator(config).run_trace(trace)
             report = batched[1][1] if index == 1 else batched[2][0]
             assert report.total_cycles == solo.total_cycles

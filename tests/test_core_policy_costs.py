@@ -19,7 +19,11 @@ from repro.quant import int4_spec
 
 @pytest.fixture()
 def model():
-    return EDMUNet(UNetConfig(img_resolution=8, model_channels=8, channel_mult=(1, 2), num_blocks_per_res=2, seed=9))
+    return EDMUNet(
+        UNetConfig(
+            img_resolution=8, model_channels=8, channel_mult=(1, 2), num_blocks_per_res=2, seed=9
+        )
+    )
 
 
 class TestPolicies:
@@ -118,7 +122,9 @@ class TestPolicies:
         policy = uniform_policy(model, int4_spec())
         policy.assignments["bogus.layer"] = next(iter(policy.assignments.values()))
         with pytest.raises(KeyError):
-            policy.apply(EDMUNet(UNetConfig(img_resolution=8, model_channels=8, channel_mult=(1,), seed=1)))
+            policy.apply(
+                EDMUNet(UNetConfig(img_resolution=8, model_channels=8, channel_mult=(1,), seed=1))
+            )
 
 
 class TestCosts:

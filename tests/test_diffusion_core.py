@@ -8,7 +8,12 @@ import pytest
 from repro.diffusion.edm import EDMDenoiser, EDMPrecond, model_is_quantized, quantization_disabled
 from repro.diffusion.prior import GaussianMixturePrior, make_smooth_templates
 from repro.diffusion.sampler import SamplerConfig, sample, sample_euler
-from repro.diffusion.schedule import ScheduleConfig, karras_sigmas, linear_sigmas, num_model_evaluations
+from repro.diffusion.schedule import (
+    ScheduleConfig,
+    karras_sigmas,
+    linear_sigmas,
+    num_model_evaluations,
+)
 from repro.quant import int4_spec, int8_spec
 from repro.nn.layers import Conv2d, Linear
 
@@ -96,7 +101,10 @@ class TestGaussianMixturePrior:
 
     def test_weights_normalized(self):
         prior = GaussianMixturePrior(
-            means=np.zeros((2, 4)), component_std=0.5, image_shape=(1, 2, 2), weights=np.array([2.0, 6.0])
+            means=np.zeros((2, 4)),
+            component_std=0.5,
+            image_shape=(1, 2, 2),
+            weights=np.array([2.0, 6.0]),
         )
         assert np.allclose(prior.weights, [0.25, 0.75])
 

@@ -44,7 +44,9 @@ class TestSweepSpec:
 class TestRunSweep:
     @pytest.mark.parametrize("executor", ["serial", "thread"])
     def test_results_in_grid_order(self, executor):
-        result = run_sweep(lambda a, b: a * 10 + b, {"a": [1, 2, 3], "b": [4, 5]}, executor=executor)
+        result = run_sweep(
+            lambda a, b: a * 10 + b, {"a": [1, 2, 3], "b": [4, 5]}, executor=executor
+        )
         assert result.values() == [14, 15, 24, 25, 34, 35]
 
     def test_threaded_sweep_actually_fans_out(self):
@@ -125,7 +127,9 @@ class TestReportCache:
     def test_different_sparsity_misses(self, small_trace):
         cache = ReportCache()
         cache.get_or_run(sqdm_config(), small_trace)
-        changed = [[w.replace(channel_sparsity=np.zeros(w.in_channels)) for w in s] for s in small_trace]
+        changed = [
+            [w.replace(channel_sparsity=np.zeros(w.in_channels)) for w in s] for s in small_trace
+        ]
         cache.get_or_run(sqdm_config(), changed)
         assert cache.stats.misses == 2
 
@@ -273,7 +277,9 @@ class TestPipelineCaching:
 
         pipeline = SQDMPipeline(
             workload=cifar_workload,
-            config=PipelineConfig(num_sampling_steps=2, num_trace_samples=1, num_reference_samples=8),
+            config=PipelineConfig(
+                num_sampling_steps=2, num_trace_samples=1, num_reference_samples=8
+            ),
         )
         trace = pipeline.collect_trace(relu=True)
         before = DEFAULT_REPORT_CACHE.stats.hits

@@ -48,7 +48,9 @@ class TestEndToEndCodesign:
         int4_unet = load_workload("cifar10", resolution=8).unet
         table1_policy(int4_unet, "INT4").apply(int4_unet)
         int4_denoiser = EDMDenoiser(int4_unet, prior=workload.dataset.prior)
-        int4_fid = evaluator.fid(sample(int4_denoiser, 6, workload.image_shape, sampler_config).images)
+        int4_fid = evaluator.fid(
+            sample(int4_denoiser, 6, workload.image_shape, sampler_config).images
+        )
         assert ours_fid < int4_fid
 
         # 4. Trace the temporal sparsity and run the accelerator comparison.

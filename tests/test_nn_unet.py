@@ -95,7 +95,9 @@ class TestUNetForward:
         assert np.all(np.isfinite(out))
 
     def test_conditional_model_uses_labels(self, rng):
-        cfg = UNetConfig(img_resolution=8, model_channels=8, channel_mult=(1, 2), label_dim=4, seed=1)
+        cfg = UNetConfig(
+            img_resolution=8, model_channels=8, channel_mult=(1, 2), label_dim=4, seed=1
+        )
         unet = EDMUNet(cfg)
         x = rng.normal(size=(1, 3, 8, 8))
         labels_a = np.eye(4)[[0]]
@@ -125,7 +127,9 @@ class TestUNetForward:
         assert out.shape == (1, 3, 16, 16)
 
     def test_multiple_blocks_per_resolution(self, rng):
-        cfg = UNetConfig(img_resolution=8, model_channels=8, channel_mult=(1, 2), num_blocks_per_res=2, seed=4)
+        cfg = UNetConfig(
+            img_resolution=8, model_channels=8, channel_mult=(1, 2), num_blocks_per_res=2, seed=4
+        )
         unet = EDMUNet(cfg)
         assert len(unet.block_infos()) == 8
         out = unet(rng.normal(size=(1, 3, 8, 8)), np.array([0.1]))

@@ -108,7 +108,11 @@ class TestDetectorProperties:
         assert np.all(cls.sparsity[cls.sparse_channels] >= threshold)
         assert np.all(cls.sparsity[cls.dense_channels] < threshold)
 
-    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=16))
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=16),
+    )
     @settings(max_examples=40, deadline=None)
     def test_activation_mapping_bijective(self, channels, height, width):
         mapping = ActivationMapping(channels, height, width)

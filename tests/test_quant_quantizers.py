@@ -119,7 +119,9 @@ class TestBlockScale:
     def test_blockscale_handles_outliers_better_than_per_tensor(self, rng):
         x = rng.normal(size=(4, 128))
         x[0, 0] = 1000.0  # a single outlier
-        block_out = fake_quantize_blockscale(x, BlockScaleConfig(element_format=INT4, block_size=16))
+        block_out = fake_quantize_blockscale(
+            x, BlockScaleConfig(element_format=INT4, block_size=16)
+        )
         tensor_out = fake_quantize(x, INT4, granularity=ScaleGranularity.PER_TENSOR)
         # Away from the outlier's block, block scaling preserves the signal that
         # a shared per-tensor scale crushes to zero.
@@ -152,7 +154,8 @@ class TestVSQ:
     def test_vsq_beats_per_tensor_int4(self, rng):
         x = rng.standard_t(df=3, size=(8, 64)) * 2
         vsq_err = np.mean((fake_quantize_vsq(x, int4_vsq_config()) - x) ** 2)
-        coarse_err = np.mean((fake_quantize(x, INT4, granularity=ScaleGranularity.PER_TENSOR) - x) ** 2)
+        coarse = fake_quantize(x, INT4, granularity=ScaleGranularity.PER_TENSOR)
+        coarse_err = np.mean((coarse - x) ** 2)
         assert vsq_err < coarse_err
 
     def test_fp8_scales_beat_uint8_scales_on_wide_dynamic_range(self, rng):
