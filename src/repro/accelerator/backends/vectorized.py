@@ -12,26 +12,43 @@ time step) plus a padded ``(num_entries, max_channels)`` sparsity matrix, and
 every quantity of the analytical model — dense/sparse channel grouping with
 the temporal detector's update schedule, per-PE channel-chunk sizes, MAC /
 cycle / energy tallies, NoC hop costs, global-buffer and DRAM traffic — is
-computed for all entries at once.  The resulting
-:class:`~repro.accelerator.simulator.SimulationReport` matches the reference
-backend's (same structure, per-layer results included) to floating-point
-round-off: summation orders differ slightly, so totals agree to ~1e-12
-relative rather than bit-for-bit, well inside the 1e-9 equivalence bound the
-test suite enforces.
+computed for all entries at once.  Reports materialized from the result match
+the reference backend's (same structure, per-layer results included) to
+floating-point round-off: summation orders differ slightly, so totals agree
+to ~1e-12 relative rather than bit-for-bit, well inside the 1e-9 equivalence
+bound the test suite enforces.
 
 Batching happens on two axes:
 
 * *cross-trace* (PR 2): :meth:`VectorizedBackend.run_traces` fuses N traces
   sharing one configuration into a single pass;
-* *cross-config* (this revision): :func:`run_config_traces` additionally
-  stacks the per-config scalar parameters (PE counts, thresholds, multiplier
-  and packing factors, clocks, buffer capacities, NoC hop tables) into
-  arrays aligned with the flattened entry axis, so a whole design-space
-  sweep — many configurations, each over many traces — is one NumPy pass.
+* *cross-config* (PR 6): :func:`run_config_traces` additionally stacks the
+  per-config scalar parameters (PE counts, thresholds, multiplier and
+  packing factors, clocks, buffer capacities, NoC hop tables) into arrays
+  aligned with the flattened entry axis, so a whole design-space sweep —
+  many configurations, each over many traces — is one NumPy pass.
   Configurations whose PE counts differ are padded to the widest PE axis in
   the batch and masked; every per-entry quantity stays row-independent, so
   each report is bit-identical to a solo ``run_trace`` of that
   (config, trace) pair.
+
+The kernel's native output is columnar (this revision):
+:func:`run_config_traces_columnar` returns a
+:class:`~repro.core.columnar.ColumnarReportBatch` — the whole result grid as
+contiguous arrays plus offset tables, with **zero** per-entry Python object
+construction.  :func:`run_config_traces` is now just the materializing
+wrapper (``.report_lists()``), kept for callers that want eager objects.
+Two further hot-path savings ride on the same restructure:
+
+* *unique-trace dedup*: a sweep points many configurations at the same
+  trace objects, so workload-geometry extraction, the sparsity matrix and
+  the detector schedule are computed once per **unique** trace at cell
+  granularity and fanned out to (config, trace) entries by fancy-indexed
+  gathers — value-copying, hence bit-identical to per-entry extraction.
+* *detector schedules per (trace, period)*: the classification-refresh
+  schedule depends only on the trace's (step, layer-name) sequence and the
+  config's update period, so it is memoized per (unique trace, period)
+  instead of re-walked per (config, trace) pair.
 
 Intentional difference: per-PE :class:`ChannelGroupResult` lists are omitted
 (``LayerExecutionResult.pe_results`` stays empty) — use the reference backend
@@ -40,13 +57,16 @@ when per-PE introspection is needed.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 
 import numpy as np
 
+from ...core.columnar import ColumnarReportBatch
 from ...core.telemetry import COUNT_BUCKETS, get_registry
 from ..config import AcceleratorConfig
-from ..energy import DEFAULT_ENERGY_TABLE, EnergyBreakdown, EnergyTable
+from ..energy import DEFAULT_ENERGY_TABLE, EnergyTable
 from ..noc import InterconnectNetwork
 from ..workload import ConvLayerWorkload
 from .base import DetectorStats
@@ -99,63 +119,76 @@ def _chunk_counts(
     return counts
 
 
-def _classification_sources(
-    entries: "list[tuple[int, int, int, ConvLayerWorkload]]",
-    mixed: np.ndarray,
-    periods: np.ndarray,
-) -> "tuple[np.ndarray, dict[tuple[int, int], DetectorStats]]":
-    """For each entry, the entry index whose sparsity sets its dense/sparse split.
+def _trace_schedule(
+    trace: "list[list[ConvLayerWorkload]]", period: int
+) -> "tuple[np.ndarray, int, int]":
+    """Per-cell classification sources of one trace under one update period.
 
     Mirrors :class:`TemporalSparsityDetector`: a layer's classification is
-    refreshed when first seen and whenever ``update_period`` time steps have
-    elapsed since its last refresh; between refreshes the stale channel
-    grouping (computed from the refresh step's sparsity) is reused while the
-    *current* sparsity still drives the datapath work.  Every (config, trace)
-    pair of a batch carries its own detector state — classifications never
-    leak across traces or configurations, so batched results match solo runs.
-    Degenerate configurations (``mixed[c]`` False: all-dense or all-sparse)
-    bypass the detector entirely, exactly like the reference controller.
+    refreshed when first seen and whenever ``period`` time steps have elapsed
+    since its last refresh; between refreshes the stale channel grouping
+    (computed from the refresh step's sparsity) is reused while the *current*
+    sparsity still drives the datapath work.  The schedule depends only on
+    the trace's (time step, layer name, channel count) sequence and the
+    period — not on which (config, trace) batch slot replays it — so the
+    kernel computes it once per (unique trace, period) and offsets the
+    returned trace-relative indices into each pair's entry range.  Every pair
+    still carries its *own* detector state; sharing the schedule is pure
+    memoization, bit-identical to walking each pair separately.
 
-    Returns the per-entry source indices plus per-(config, trace) detector
-    activity, which the kernel attaches to each report.
+    Returns ``(source, updates_performed, channels_evaluated)`` with
+    ``source[i]`` the trace-relative cell index whose sparsity sets cell
+    ``i``'s dense/sparse split.
     """
-    source = np.arange(len(entries), dtype=np.int64)
-    last_update: dict[tuple[int, int, str], tuple[int, int]] = {}
-    stats: dict[tuple[int, int], DetectorStats] = {}
-    for index, (config_idx, trace_idx, time_step, workload) in enumerate(entries):
-        if not mixed[config_idx]:
-            continue
-        key = (config_idx, trace_idx, workload.name)
-        previous = last_update.get(key)
-        if previous is None or time_step - previous[0] >= periods[config_idx]:
-            last_update[key] = (time_step, index)
-            pair = stats.setdefault((config_idx, trace_idx), DetectorStats())
-            pair.updates_performed += 1
-            pair.channels_evaluated += workload.in_channels
-        else:
-            source[index] = previous[1]
-    return source, stats
+    num_cells = sum(len(workloads) for workloads in trace)
+    source = np.arange(num_cells, dtype=np.int64)
+    last_update: dict[str, tuple[int, int]] = {}
+    updates = 0
+    channels = 0
+    index = 0
+    for time_step, workloads in enumerate(trace):
+        for workload in workloads:
+            previous = last_update.get(workload.name)
+            if previous is None or time_step - previous[0] >= period:
+                last_update[workload.name] = (time_step, index)
+                updates += 1
+                channels += workload.in_channels
+            else:
+                source[index] = previous[1]
+            index += 1
+    return source, updates, channels
 
 
 #: Hop-count memo keyed by PE-array shape: the chain-of-routers topology (and
 #: hence every GLB->PE hop count) is fully determined by (num_dpe, num_spe),
-#: so sweeps over other knobs skip the networkx graph build entirely.  A
-#: racing double-compute stores the same values, so no lock is needed.
-_HOPS_CACHE: dict[tuple[int, int], np.ndarray] = {}
+#: so sweeps over other knobs skip the networkx graph build entirely.  LRU
+#: with a small cap so adversarial many-shape sweeps can't grow it without
+#: bound; the lock only guards the OrderedDict bookkeeping — the networkx
+#: build runs outside it, and a racing double-compute stores equal values.
+_HOPS_CACHE: "OrderedDict[tuple[int, int], np.ndarray]" = OrderedDict()
+_HOPS_CACHE_MAX = 32
+_HOPS_CACHE_LOCK = threading.Lock()
 
 
 def _config_hops(config: AcceleratorConfig, energy_table: EnergyTable) -> np.ndarray:
     """Hop counts per PE in controller dispatch order (DPEs then SPEs)."""
     shape = (config.num_dpe, config.num_spe)
-    cached = _HOPS_CACHE.get(shape)
-    if cached is None:
-        noc = InterconnectNetwork(config, energy_table)
-        pe_order = [f"dpe{i}" for i in range(config.num_dpe)] + [
-            f"spe{i}" for i in range(config.num_spe)
-        ]
-        cached = np.array([noc.hops_to(name) for name in pe_order], dtype=np.float64)
-        cached.setflags(write=False)
-        _HOPS_CACHE[shape] = cached
+    with _HOPS_CACHE_LOCK:
+        cached = _HOPS_CACHE.get(shape)
+        if cached is not None:
+            _HOPS_CACHE.move_to_end(shape)
+            return cached
+    noc = InterconnectNetwork(config, energy_table)
+    pe_order = [f"dpe{i}" for i in range(config.num_dpe)] + [
+        f"spe{i}" for i in range(config.num_spe)
+    ]
+    hops = np.array([noc.hops_to(name) for name in pe_order], dtype=np.float64)
+    hops.setflags(write=False)
+    with _HOPS_CACHE_LOCK:
+        cached = _HOPS_CACHE.setdefault(shape, hops)
+        _HOPS_CACHE.move_to_end(shape)
+        while len(_HOPS_CACHE) > _HOPS_CACHE_MAX:
+            _HOPS_CACHE.popitem(last=False)
     return cached
 
 
@@ -179,27 +212,42 @@ def _segment_sums(rows: np.ndarray, starts: np.ndarray, sizes: np.ndarray) -> np
     return sums
 
 
-def _zero_report(config: AcceleratorConfig, trace: "list[list[ConvLayerWorkload]]"):
-    from ..simulator import SimulationReport, StepResult
-
-    return SimulationReport(
-        config_name=config.name,
-        total_cycles=0.0,
-        total_energy=EnergyBreakdown(),
-        step_results=[
-            StepResult(time_step=t, cycles=0.0, energy=EnergyBreakdown())
-            for t in range(len(trace))
-        ],
-        clock_ghz=config.clock_ghz,
-        detector_stats=DetectorStats(),
+def _zero_batch(
+    entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
+) -> ColumnarReportBatch:
+    """An all-empty batch (no layer entries anywhere) with the input's shape."""
+    trace_steps = np.array(
+        [len(trace) for _, traces in entries for trace in traces], dtype=np.int64
+    )
+    num_traces = len(trace_steps)
+    num_steps = int(trace_steps.sum())
+    return ColumnarReportBatch(
+        config_names=[config.name for config, _ in entries],
+        clock_ghz=np.array([config.clock_ghz for config, _ in entries], dtype=np.float64),
+        traces_per_config=np.array([len(traces) for _, traces in entries], dtype=np.int64),
+        trace_steps=trace_steps,
+        step_sizes=np.zeros(num_steps, dtype=np.int64),
+        layer_names=[],
+        layer_cycles=np.zeros(0),
+        layer_energy=np.zeros((0, 7)),
+        total_macs=np.zeros(0),
+        executed_macs=np.zeros(0),
+        dense_channels=np.zeros(0, dtype=np.int64),
+        sparse_channels=np.zeros(0, dtype=np.int64),
+        dense_cycles=np.zeros(0),
+        sparse_cycles=np.zeros(0),
+        step_totals=np.zeros((num_steps, 8)),
+        trace_totals=np.zeros((num_traces, 8)),
+        detector_updates=np.zeros(num_traces, dtype=np.int64),
+        detector_channels=np.zeros(num_traces, dtype=np.int64),
     )
 
 
-def run_config_traces(
+def run_config_traces_columnar(
     entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
     energy_table: EnergyTable | None = None,
     batch_stats: DetectorStats | None = None,
-) -> "list[list]":
+) -> ColumnarReportBatch:
     """Timed wrapper over :func:`_run_config_traces_impl` (the actual kernel):
     records call duration and batch shape into the telemetry registry."""
     began = time.monotonic()
@@ -218,20 +266,31 @@ def run_config_traces(
         )
 
 
-def _run_config_traces_impl(
+def run_config_traces(
     entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
     energy_table: EnergyTable | None = None,
     batch_stats: DetectorStats | None = None,
 ) -> "list[list]":
+    """Eager-object variant of :func:`run_config_traces_columnar`: one list of
+    materialized :class:`SimulationReport`\\ s per input entry."""
+    return run_config_traces_columnar(entries, energy_table, batch_stats).report_lists()
+
+
+def _run_config_traces_impl(
+    entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]",
+    energy_table: EnergyTable | None = None,
+    batch_stats: DetectorStats | None = None,
+) -> ColumnarReportBatch:
     """Execute a ``(config x trace)`` batch in one cross-config NumPy pass.
 
     ``entries`` pairs each :class:`AcceleratorConfig` with the traces to run
-    on it; the result is one list of reports per entry, aligned with the
-    input.  All (config, trace, time step, layer) cells are flattened into a
-    single entry axis, per-config scalar parameters are gathered into arrays
-    aligned with that axis, and per-PE quantities are padded to the widest PE
-    count in the batch — so an entire sweep costs one batched pass instead of
-    one per configuration.  Every report is bit-identical to a solo
+    on it; the result is one :class:`ColumnarReportBatch` covering the whole
+    grid — no report objects are built here.  All (config, trace, time step,
+    layer) cells are flattened into a single entry axis, per-config scalar
+    parameters are gathered into arrays aligned with that axis, and per-PE
+    quantities are padded to the widest PE count in the batch — so an entire
+    sweep costs one batched pass instead of one per configuration.  Every
+    report later materialized from the batch is bit-identical to a solo
     ``run_trace`` of its (config, trace) pair: the per-entry math is
     row-independent, padding columns stay exactly zero, and each
     (config, trace) pair keeps its own detector schedule.
@@ -240,21 +299,59 @@ def _run_config_traces_impl(
     guarantees this by grouping requests on the table fingerprint.  When
     ``batch_stats`` is given it receives the whole batch's detector totals.
     """
-    from ..controller import LayerExecutionResult
-    from ..simulator import SimulationReport, StepResult
-
     table = energy_table or DEFAULT_ENERGY_TABLE
     configs = [config for config, _ in entries]
-    flat = [
-        (config_idx, trace_idx, t, w)
-        for config_idx, (_, traces) in enumerate(entries)
-        for trace_idx, trace in enumerate(traces)
-        for t, workloads in enumerate(trace)
-        for w in workloads
-    ]
-    num_entries = len(flat)
+
+    # --- unique-trace cell tables ----------------------------------------
+    # Sweeps run many configurations over the *same* trace objects, so all
+    # config-independent per-layer work (geometry extraction, the sparsity
+    # matrix, detector schedules) is done once per unique trace over a
+    # "cell" axis — one cell per (step, layer) of each unique trace — and
+    # fanned out to the (config, trace) entry axis by gathers below.
+    unique_of: dict[int, int] = {}
+    unique_traces: list[list[list[ConvLayerWorkload]]] = []
+    pairs: list[tuple[int, int]] = []
+    for config_idx, (_, traces) in enumerate(entries):
+        for trace in traces:
+            uidx = unique_of.get(id(trace))
+            if uidx is None:
+                uidx = unique_of.setdefault(id(trace), len(unique_traces))
+                unique_traces.append(trace)
+            pairs.append((config_idx, uidx))
+
+    cell_workloads: list[ConvLayerWorkload] = []
+    u_starts: list[int] = []
+    u_sizes: list[int] = []
+    u_step_sizes: list[np.ndarray] = []
+    for trace in unique_traces:
+        u_starts.append(len(cell_workloads))
+        u_step_sizes.append(np.array([len(workloads) for workloads in trace], dtype=np.int64))
+        for workloads in trace:
+            cell_workloads.extend(workloads)
+        u_sizes.append(len(cell_workloads) - u_starts[-1])
+
+    pair_cfg = np.array([config_idx for config_idx, _ in pairs], dtype=np.int64).reshape(-1)
+    pair_sizes = np.array([u_sizes[uidx] for _, uidx in pairs], dtype=np.int64).reshape(-1)
+    entry_base = np.concatenate(([0], np.cumsum(pair_sizes)))
+    num_entries = int(entry_base[-1])
     if num_entries == 0:
-        return [[_zero_report(config, trace) for trace in traces] for config, traces in entries]
+        return _zero_batch(entries)
+
+    # Entry axis = concatenation of each pair's cell range, config-major then
+    # trace-major (the batch's canonical order).
+    cell_idx = np.concatenate(
+        [
+            np.arange(u_starts[uidx], u_starts[uidx] + u_sizes[uidx], dtype=np.int64)
+            for _, uidx in pairs
+        ]
+    )
+    cfg = np.repeat(pair_cfg, pair_sizes)
+    step_sizes = (
+        np.concatenate([u_step_sizes[uidx] for _, uidx in pairs])
+        if pairs
+        else np.zeros(0, dtype=np.int64)
+    )
+    trace_steps = np.array([len(u_step_sizes[uidx]) for _, uidx in pairs], dtype=np.int64)
 
     # --- per-config parameter rows, gathered onto the entry axis ----------
     num_dpe_c = np.array([c.num_dpe for c in configs], dtype=np.int64)
@@ -281,63 +378,77 @@ def _run_config_traces_impl(
         hops_c[config_idx, : config.num_dpe] = hops[: config.num_dpe]
         hops_c[config_idx, max_dpe : max_dpe + config.num_spe] = hops[config.num_dpe :]
 
-    cfg = np.array([config_idx for config_idx, _, _, _ in flat], dtype=np.int64)
     dpe_e = num_dpe_c[cfg]
     spe_e = num_spe_c[cfg]
 
-    # --- per-entry scalar arrays ------------------------------------------
-    # One pass over the workloads extracts the raw geometry; every derived
-    # quantity (footprints, MAC counts) is then computed as array math,
-    # reproducing the ConvLayerWorkload formulas exactly (integer-valued
-    # float64 products are exact well past these magnitudes).
-    workloads = [w for _, _, _, w in flat]
+    # --- per-cell scalar arrays, gathered to entries ----------------------
+    # One pass over each unique trace's workloads extracts the raw geometry;
+    # every derived quantity (footprints, MAC counts) is then computed as
+    # array math, reproducing the ConvLayerWorkload formulas exactly
+    # (integer-valued float64 products are exact well past these
+    # magnitudes).  The entry-axis gathers copy values verbatim, so entries
+    # replaying the same trace under different configs are bit-identical to
+    # extracting per entry.
     raw = np.array(
         [
             (w.in_channels, w.out_channels, w.kernel_size, w.out_height, w.out_width,
              w.weight_bits, w.act_bits)
-            for w in workloads
+            for w in cell_workloads
         ],
         dtype=np.float64,
     )
-    in_channels = raw[:, 0].astype(np.int64)
-    out_channels = raw[:, 1]
-    kernel_sq = raw[:, 2] * raw[:, 2]
-    spatial = raw[:, 3] * raw[:, 4]
-    weight_bits = raw[:, 5]
-    act_bits = raw[:, 6]
-    op_bits = np.maximum(weight_bits, act_bits).astype(np.int64)
-    macs_per_channel = out_channels * kernel_sq * spatial
-    weight_bytes_total = out_channels * raw[:, 0] * kernel_sq * weight_bits / 8.0
-    output_bytes = out_channels * spatial * act_bits / 8.0
-    input_bytes_full = raw[:, 0] * spatial * act_bits / 8.0
-    total_macs = raw[:, 0] * macs_per_channel
-    channels_div = np.maximum(raw[:, 0], 1.0)
+    num_cells = len(cell_workloads)
+    in_channels_u = raw[:, 0].astype(np.int64)
+    kernel_sq_u = raw[:, 2] * raw[:, 2]
+    spatial_u = raw[:, 3] * raw[:, 4]
+    op_bits_u = np.maximum(raw[:, 5], raw[:, 6]).astype(np.int64)
+    macs_per_channel_u = raw[:, 1] * kernel_sq_u * spatial_u
+    weight_bytes_total_u = raw[:, 1] * raw[:, 0] * kernel_sq_u * raw[:, 5] / 8.0
+    output_bytes_u = raw[:, 1] * spatial_u * raw[:, 6] / 8.0
+    input_bytes_full_u = raw[:, 0] * spatial_u * raw[:, 6] / 8.0
+    total_macs_u = raw[:, 0] * macs_per_channel_u
+    channels_div_u = np.maximum(raw[:, 0], 1.0)
 
-    # MAC energy and lane packing per entry (few distinct precisions).
-    mac_energy = np.empty(num_entries, dtype=np.float64)
-    packing = np.empty(num_entries, dtype=np.float64)
-    for bits in np.unique(op_bits):
-        selected = op_bits == bits
-        mac_energy[selected] = table.mac_energy(int(bits))
-        packing[selected] = max(16.0 / float(bits), 1.0)
-    dense_throughput = multipliers_c[cfg] * packing
-    sparse_throughput = dense_throughput * sparse_util_c[cfg]
-    pipeline_overhead = overhead_c[cfg]
+    # MAC energy and lane packing per cell (few distinct precisions).
+    mac_energy_u = np.empty(num_cells, dtype=np.float64)
+    packing_u = np.empty(num_cells, dtype=np.float64)
+    for bits in np.unique(op_bits_u):
+        selected = op_bits_u == bits
+        mac_energy_u[selected] = table.mac_energy(int(bits))
+        packing_u[selected] = max(16.0 / float(bits), 1.0)
 
-    # --- padded channel-sparsity matrices ---------------------------------
+    # --- padded channel-sparsity matrix (per cell) ------------------------
     # One concatenate + fancy-index assignment fills every row at once; the
     # values are copied verbatim, so the fill is bit-identical to a per-row
     # Python loop.
-    max_channels = max(1, int(in_channels.max()))
-    sparsity_now = np.zeros((num_entries, max_channels), dtype=np.float64)
+    max_channels = max(1, int(in_channels_u.max()))
+    sparsity_cell = np.zeros((num_cells, max_channels), dtype=np.float64)
     flat_sparsity = np.concatenate(
-        [np.asarray(w.channel_sparsity, dtype=np.float64) for w in workloads]
+        [np.asarray(w.channel_sparsity, dtype=np.float64) for w in cell_workloads]
     )
-    rows = np.repeat(np.arange(num_entries), in_channels)
-    starts_per_row = np.concatenate(([0], np.cumsum(in_channels)[:-1]))
-    cols = np.arange(flat_sparsity.size) - np.repeat(starts_per_row, in_channels)
-    sparsity_now[rows, cols] = flat_sparsity
-    valid = np.arange(max_channels)[None, :] < in_channels[:, None]
+    rows = np.repeat(np.arange(num_cells), in_channels_u)
+    starts_per_row = np.concatenate(([0], np.cumsum(in_channels_u)[:-1]))
+    cols = np.arange(flat_sparsity.size) - np.repeat(starts_per_row, in_channels_u)
+    sparsity_cell[rows, cols] = flat_sparsity
+    valid_cell = np.arange(max_channels)[None, :] < in_channels_u[:, None]
+
+    # Entry-axis views of the cell tables.
+    out_channels = raw[cell_idx, 1]
+    spatial = spatial_u[cell_idx]
+    act_bits = raw[cell_idx, 6]
+    macs_per_channel = macs_per_channel_u[cell_idx]
+    weight_bytes_total = weight_bytes_total_u[cell_idx]
+    output_bytes = output_bytes_u[cell_idx]
+    input_bytes_full = input_bytes_full_u[cell_idx]
+    total_macs = total_macs_u[cell_idx]
+    channels_div = channels_div_u[cell_idx]
+    mac_energy = mac_energy_u[cell_idx]
+    sparsity_now = sparsity_cell[cell_idx]
+    valid = valid_cell[cell_idx]
+
+    dense_throughput = multipliers_c[cfg] * packing_u[cell_idx]
+    sparse_throughput = dense_throughput * sparse_util_c[cfg]
+    pipeline_overhead = overhead_c[cfg]
 
     # Per-entry classification thresholds: degenerate configurations force
     # an all-dense / all-sparse split regardless of the detector.
@@ -346,17 +457,41 @@ def _run_config_traces_impl(
         _ALL_DENSE_THRESHOLD,
         np.where(dpe_e == 0, _ALL_SPARSE_THRESHOLD, threshold_c[cfg]),
     )
-    source, detector_by_pair = _classification_sources(flat, mixed_c, periods_c)
-    if detector_by_pair:
-        sparsity_src = sparsity_now[source]
-    else:
-        sparsity_src = sparsity_now
-    if batch_stats is not None:
-        batch_stats.updates_performed = sum(s.updates_performed for s in detector_by_pair.values())
-        batch_stats.channels_evaluated = sum(
-            s.channels_evaluated for s in detector_by_pair.values()
-        )
 
+    # --- detector schedules -----------------------------------------------
+    # Every (config, trace) pair of a batch carries its own detector state —
+    # classifications never leak across traces or configurations, so batched
+    # results match solo runs.  Degenerate configurations (all-dense or
+    # all-sparse) bypass the detector entirely, exactly like the reference
+    # controller.  ``source[i]`` is the entry whose sparsity sets entry
+    # ``i``'s dense/sparse split (itself, unless a stale classification is
+    # being reused).
+    num_pairs = len(pairs)
+    source = np.arange(num_entries, dtype=np.int64)
+    detector_updates = np.zeros(num_pairs, dtype=np.int64)
+    detector_channels = np.zeros(num_pairs, dtype=np.int64)
+    schedules: dict[tuple[int, int], tuple[np.ndarray, int, int]] = {}
+    detector_active = False
+    for pair_idx, (config_idx, uidx) in enumerate(pairs):
+        if not mixed_c[config_idx] or not u_sizes[uidx]:
+            continue
+        period = int(periods_c[config_idx])
+        schedule = schedules.get((uidx, period))
+        if schedule is None:
+            schedule = schedules.setdefault(
+                (uidx, period), _trace_schedule(unique_traces[uidx], period)
+            )
+        relative_source, updates, channels = schedule
+        base = int(entry_base[pair_idx])
+        source[base : base + relative_source.size] = base + relative_source
+        detector_updates[pair_idx] = updates
+        detector_channels[pair_idx] = channels
+        detector_active = True
+    if batch_stats is not None:
+        batch_stats.updates_performed = int(detector_updates.sum())
+        batch_stats.channels_evaluated = int(detector_channels.sum())
+
+    sparsity_src = sparsity_now[source] if detector_active else sparsity_now
     sparse_mask = (sparsity_src >= threshold_e[:, None]) & valid
     dense_mask = valid & ~sparse_mask
     num_dense = dense_mask.sum(axis=1)
@@ -463,113 +598,52 @@ def _run_config_traces_impl(
     compute_cycles = np.maximum(dense_cycles, sparse_cycles)
     layer_cycles = np.maximum(compute_cycles, noc_cycles)
 
-    # --- report assembly --------------------------------------------------
-    # Bulk-convert to Python scalars once; per-element float() casts in the
-    # construction loop would dominate the backend's runtime.
-    energy_columns = [
-        mac_pj,
-        local_buffer_pj,
-        global_buffer_pj,
-        dram_pj,
-        noc_pj,
-        detector_pj,
-        idle_pj,
-    ]
-    per_layer = list(
-        zip(
-            layer_cycles.tolist(),
-            total_macs.tolist(),
-            executed.tolist(),
-            num_dense.tolist(),
-            num_sparse.tolist(),
-            dense_cycles.tolist(),
-            sparse_cycles.tolist(),
-            *[column.tolist() for column in energy_columns],
-        )
+    # --- columnar roll-up -------------------------------------------------
+    # The kernel's output stays columnar: per-layer columns plus segment-sum
+    # totals, no report objects.  Per-step sums must use the reference
+    # loop's *sequential* association ((l0 + l1) + l2)... so materialized
+    # results are bit-identical to a solo run of the same trace, not merely
+    # close.  ``np.add.reduceat`` does NOT guarantee that: it sums segments
+    # pairwise, and its implicit final segment runs to the end of the array,
+    # so the same step sums over a different tree depending on where it
+    # lands in the batch — a one-ulp divergence between a fleet worker's
+    # single-config partition and the fused sweep.  :func:`_segment_sums`
+    # accumulates one row per segment per iteration instead: sequential
+    # association per segment, vectorized across segments, and independent
+    # of the surrounding batch shape.  Same shape one level up: per-trace
+    # totals are sequential sums of the per-step rows.
+    energy_stack = np.column_stack(
+        [mac_pj, local_buffer_pj, global_buffer_pj, dram_pj, noc_pj, detector_pj, idle_pj]
     )
-    # Positional construction: this comprehension runs once per flattened
-    # entry and keyword-argument binding measurably dominates it on small
-    # traces.  Row layout: cycles, total/executed MACs, dense/sparse channel
-    # counts, dense/sparse cycles, then the 7 EnergyBreakdown components.
-    layer_results = [
-        LayerExecutionResult(
-            workloads[i].name, row[0], EnergyBreakdown(*row[7:]), row[1], row[2],
-            row[3], row[4], [], row[5], row[6],
-        )
-        for i, row in enumerate(per_layer)
-    ]
+    step_ends = np.cumsum(step_sizes)
+    step_starts = step_ends - step_sizes
+    stacked = np.column_stack([layer_cycles, energy_stack])
+    step_totals = _segment_sums(stacked, step_starts, step_sizes)
+    trace_ends = np.cumsum(trace_steps)
+    trace_starts = trace_ends - trace_steps
+    trace_totals = _segment_sums(step_totals, trace_starts, trace_steps)
 
-    # Step boundaries in the flattened (config-major, trace-major) entry
-    # order.  Per-step sums must use the reference loop's *sequential*
-    # association ((l0 + l1) + l2)... so batched results are bit-identical to
-    # a solo run of the same trace, not merely close.  ``np.add.reduceat``
-    # does NOT guarantee that: it sums segments pairwise, and its implicit
-    # final segment runs to the end of the array, so the same step sums over
-    # a different tree depending on where it lands in the batch — a one-ulp
-    # divergence between a fleet worker's single-config partition and the
-    # fused sweep.  :func:`_segment_sums` accumulates one row per segment
-    # per iteration instead: sequential association per segment, vectorized
-    # across segments, and independent of the surrounding batch shape.
-    step_sizes = np.array(
-        [len(step) for _, traces in entries for trace in traces for step in trace],
-        dtype=np.int64,
+    cell_names = [w.name for w in cell_workloads]
+    return ColumnarReportBatch(
+        config_names=[config.name for config in configs],
+        clock_ghz=np.array([config.clock_ghz for config in configs], dtype=np.float64),
+        traces_per_config=np.array([len(traces) for _, traces in entries], dtype=np.int64),
+        trace_steps=trace_steps,
+        step_sizes=step_sizes,
+        layer_names=[cell_names[j] for j in cell_idx.tolist()],
+        layer_cycles=layer_cycles,
+        layer_energy=energy_stack,
+        total_macs=total_macs,
+        executed_macs=executed,
+        dense_channels=num_dense,
+        sparse_channels=num_sparse,
+        dense_cycles=dense_cycles,
+        sparse_cycles=sparse_cycles,
+        step_totals=step_totals,
+        trace_totals=trace_totals,
+        detector_updates=detector_updates,
+        detector_channels=detector_channels,
     )
-    ends = np.cumsum(step_sizes)
-    starts = ends - step_sizes
-    stacked = np.column_stack([layer_cycles, *energy_columns])
-    trace_steps = np.array(
-        [len(trace) for _, traces in entries for trace in traces], dtype=np.int64
-    )
-    if len(step_sizes):
-        sums = _segment_sums(stacked, starts, step_sizes)
-        per_step = sums.tolist()
-        # Same shape one level up: per-trace totals are sequential sums of
-        # the per-step rows, reproducing the reference loop's association
-        # (total = ((s0 + s1) + s2)...) bit for bit.
-        trace_ends = np.cumsum(trace_steps)
-        trace_starts = trace_ends - trace_steps
-        totals = _segment_sums(sums, trace_starts, trace_steps)
-        per_trace = totals.tolist()
-    else:
-        per_step = []
-        per_trace = [[0.0] * stacked.shape[1] for _ in trace_steps]
-
-    start_list = starts.tolist()
-    end_list = ends.tolist()
-    results: list[list[SimulationReport]] = []
-    global_step = 0
-    global_trace = 0
-    for config_idx, (config, traces) in enumerate(entries):
-        reports = []
-        for trace_idx, trace in enumerate(traces):
-            num_steps = len(trace)
-            seg_starts = start_list[global_step : global_step + num_steps]
-            seg_ends = end_list[global_step : global_step + num_steps]
-            step_results = [
-                StepResult(
-                    time_step,
-                    row[0],
-                    EnergyBreakdown(*row[1:]),
-                    layer_results[seg_starts[time_step] : seg_ends[time_step]],
-                )
-                for time_step, row in enumerate(per_step[global_step : global_step + num_steps])
-            ]
-            global_step += num_steps
-            totals_row = per_trace[global_trace]
-            global_trace += 1
-            trace_stats = detector_by_pair.get((config_idx, trace_idx))
-            reports.append(
-                SimulationReport(
-                    config_name=config.name,
-                    total_cycles=totals_row[0],
-                    total_energy=EnergyBreakdown(*totals_row[1:]),
-                    step_results=step_results,
-                    clock_ghz=config.clock_ghz,
-                    detector_stats=trace_stats if trace_stats is not None else DetectorStats(),
-                )
-            )
-        results.append(reports)
-    return results
 
 
 class VectorizedBackend:
@@ -613,5 +687,14 @@ class VectorizedBackend:
         constrain the batch — every entry carries its config — but all
         entries share this backend's energy table.
         """
+        return self.run_config_traces_columnar(entries).report_lists()
+
+    def run_config_traces_columnar(
+        self, entries: "list[tuple[AcceleratorConfig, list[list[list[ConvLayerWorkload]]]]]"
+    ) -> ColumnarReportBatch:
+        """Columnar variant of :meth:`run_config_traces`: the whole grid as a
+        :class:`~repro.core.columnar.ColumnarReportBatch`, no objects built."""
         self.reset()
-        return run_config_traces(entries, self.energy_table, batch_stats=self.detector_stats)
+        return run_config_traces_columnar(
+            entries, self.energy_table, batch_stats=self.detector_stats
+        )

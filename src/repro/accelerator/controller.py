@@ -23,7 +23,7 @@ from .pe import ChannelGroupResult, ProcessingElement
 from .workload import ConvLayerWorkload
 
 
-@dataclass
+@dataclass(slots=True)
 class LayerExecutionResult:
     """Latency/energy of one convolution layer at one diffusion time step."""
 

@@ -50,7 +50,7 @@ class EnergyTable:
         raise AssertionError("unreachable")
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyBreakdown:
     """Energy totals (picojoules) by component, summable across layers/steps."""
 

@@ -19,7 +19,7 @@ from .energy import EnergyBreakdown, EnergyTable
 from .workload import ConvLayerWorkload
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelGroupResult:
     """Outcome of one PE processing one channel group of one layer."""
 

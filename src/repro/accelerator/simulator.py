@@ -64,7 +64,7 @@ def relative_saving(baseline: float, candidate: float) -> float:
     return 1.0 - candidate / baseline
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """Aggregate execution result of one diffusion time step."""
 
@@ -260,6 +260,23 @@ class AcceleratorSimulator:
             )
             for config, traces in entries
         ]
+
+    def run_config_traces_columnar(
+        self, entries: "list[tuple[AcceleratorConfig, list[WorkloadTrace]]]"
+    ):
+        """Columnar variant of :meth:`run_config_traces`, or ``None``.
+
+        On backends with a columnar entry point (the vectorized engine) the
+        whole ``(config x trace)`` grid comes back as one
+        :class:`~repro.core.columnar.ColumnarReportBatch` — contiguous
+        arrays, zero report objects built.  Returns ``None`` for backends
+        without it (notably the reference oracle), signalling callers to take
+        the eager :meth:`run_config_traces` path instead.
+        """
+        runner = getattr(self.backend, "run_config_traces_columnar", None)
+        if runner is None:
+            return None
+        return runner(entries)
 
 
 @dataclass

@@ -8,11 +8,21 @@ landed.  Three measurements cover the stack:
 ``sim_entries_per_sec``
     Raw kernel throughput: flattened (config, trace, step, layer) entries
     simulated per second by one cross-config
-    :func:`~repro.accelerator.backends.vectorized.run_config_traces` pass.
+    :func:`~repro.accelerator.backends.vectorized.run_config_traces_columnar`
+    pass.  The kernel returns a columnar batch, so this is the cost of a
+    sweep whose consumer reads array aggregates — no report objects built.
 ``sweep_wall_clock_s`` / ``per_config_sweep_wall_clock_s``
     Wall-clock of a 16-config x 8-trace design-space sweep through the
     cross-config kernel vs the PR-2 per-config ``run_traces`` loop; their
     ratio is ``cross_config_speedup``.
+``report_assembly_entries_per_sec``
+    Materialization throughput: entries per second turned from columnar
+    arrays into ``SimulationReport`` object trees (a fresh batch per repeat,
+    so memoization cannot flatter the number).
+``sweep_peak_alloc_mb``
+    tracemalloc peak of one columnar sweep at the bench shape — the
+    allocation footprint of keeping results columnar.  Measured outside the
+    timed sections (tracemalloc slows allocation), observability only.
 ``service_jobs_per_sec``
     End-to-end job throughput of an :class:`EvaluationService` fed distinct
     simulation jobs (cold cache), including queueing, coalescing and
@@ -33,6 +43,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -208,18 +219,60 @@ def _time_sweeps(
     traces: list[WorkloadTrace],
     repeats: int,
 ) -> tuple[float, float]:
-    """(cross-config, per-config) wall-clock of the same sweep, best of N."""
+    """(cross-config, per-config) wall-clock of the same sweep, best of N.
+
+    The cross-config path times the columnar kernel alone — since PR 9 a
+    sweep's results stay columnar until someone indexes a report, so the
+    kernel pass *is* the end-to-end sweep cost for aggregate consumers.
+    """
     entries = [(config, traces) for config in configs]
     simulator = AcceleratorSimulator(configs[0], backend="vectorized")
 
     def cross_config() -> None:
-        simulator.run_config_traces(entries)
+        simulator.run_config_traces_columnar(entries)
 
     def per_config() -> None:
         for config in configs:
             AcceleratorSimulator(config, backend="vectorized").run_traces(traces)
 
     return _min_runtime(cross_config, repeats), _min_runtime(per_config, repeats)
+
+
+def _time_assembly(
+    configs: list[AcceleratorConfig],
+    traces: list[WorkloadTrace],
+    repeats: int,
+) -> float:
+    """Best-of-N wall-clock of materializing every report from a columnar batch.
+
+    Each repeat materializes a *fresh* batch (built outside the timed
+    region): ``ColumnarReportBatch`` memoizes per-trace reports, so re-timing
+    one batch would measure dictionary lookups, not assembly.
+    """
+    entries = [(config, traces) for config in configs]
+    simulator = AcceleratorSimulator(configs[0], backend="vectorized")
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        batch = simulator.run_config_traces_columnar(entries)
+        start = time.perf_counter()
+        batch.report_lists()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _sweep_peak_alloc_mb(
+    configs: list[AcceleratorConfig], traces: list[WorkloadTrace]
+) -> float:
+    """tracemalloc peak (MiB) of one columnar sweep, cold start to batch."""
+    entries = [(config, traces) for config in configs]
+    simulator = AcceleratorSimulator(configs[0], backend="vectorized")
+    tracemalloc.start()
+    try:
+        simulator.run_config_traces_columnar(entries)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024.0 * 1024.0)
 
 
 def _time_service(
@@ -263,6 +316,9 @@ def run_bench(quick: bool = True, seed: int = 0) -> BenchResult:
     calibration = calibration_score(workload.repeats)
     cross_s, per_config_s = _time_sweeps(configs, traces, workload.repeats)
     entries_per_sec = workload.entries / cross_s if cross_s > 0 else float("inf")
+    assembly_s = _time_assembly(configs, traces, workload.repeats)
+    assembly_per_sec = workload.entries / assembly_s if assembly_s > 0 else float("inf")
+    peak_alloc_mb = _sweep_peak_alloc_mb(configs, traces)
     jobs_per_sec, latency_p50, latency_p95 = _time_service(configs, traces)
 
     metrics = {
@@ -271,6 +327,8 @@ def run_bench(quick: bool = True, seed: int = 0) -> BenchResult:
         "sweep_wall_clock_s": cross_s,
         "per_config_sweep_wall_clock_s": per_config_s,
         "cross_config_speedup": per_config_s / cross_s if cross_s > 0 else float("inf"),
+        "report_assembly_entries_per_sec": assembly_per_sec,
+        "sweep_peak_alloc_mb": peak_alloc_mb,
         "service_jobs_per_sec": jobs_per_sec,
         "service_job_latency_p50_s": latency_p50,
         "service_job_latency_p95_s": latency_p95,

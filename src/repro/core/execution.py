@@ -182,7 +182,9 @@ def execute_spec(spec: Any, cache: "ReportCache | None" = None) -> Any:
         from ..serve.scheduler import run_batched
 
         requests = spec.plan()
-        reports = run_batched(requests, cache=cache)
+        # Keep results columnar: SweepJobResult materializes lazily, so a
+        # sweep that only feeds aggregate queries never builds report objects.
+        reports = run_batched(requests, cache=cache, materialize=False)
         return _sweep_result(spec, reports)
     if kind == "quality_spec":
         from ..serve.workers import evaluate_quality
@@ -582,7 +584,9 @@ class InlineExecutor(Executor):
             from ..serve.scheduler import run_batched
 
             try:
-                reports = run_batched(requests, cache=self.cache)
+                # Raw (possibly columnar) entries: sweep results stay lazy,
+                # simulate handles materialize their one report below.
+                reports = run_batched(requests, cache=self.cache, materialize=False)
             except Exception as exc:  # noqa: BLE001 - recorded per handle below
                 simulation_error = exc
 
@@ -597,7 +601,9 @@ class InlineExecutor(Executor):
                 if simulation_error is not None:
                     value, error = None, simulation_error
                 elif kind == "simulate_spec":
-                    value, error = chunk[0], None
+                    from .columnar import ensure_report
+
+                    value, error = ensure_report(chunk[0]), None
                 else:
                     value, error = _sweep_result(spec, chunk), None
             else:

@@ -30,6 +30,7 @@ from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import DEFAULT_ENERGY_TABLE, EnergyTable
 from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
 from .artifacts import ArtifactStore, default_artifact_store
+from .columnar import ColumnarReportBatch, ensure_report
 from .telemetry import get_registry
 
 # Process-wide tier counters (flat, not labeled, so the CI reconcile step and
@@ -197,7 +198,9 @@ class ReportCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._store_spec = store
-        self._entries: OrderedDict[CacheKey, SimulationReport] = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, SimulationReport | ColumnarReportBatch]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -235,34 +238,63 @@ class ReportCache:
 
     # -- tier plumbing ---------------------------------------------------------
 
-    def lookup_key(self, key: CacheKey) -> SimulationReport | None:
+    @staticmethod
+    def _acceptable(obj: object) -> bool:
+        """Is a decoded artifact a valid cache entry?  Reports always; columnar
+        batches only in single-trace form (one cache key is one trace)."""
+        if isinstance(obj, SimulationReport):
+            return True
+        return isinstance(obj, ColumnarReportBatch) and obj.num_traces == 1
+
+    def lookup_key(self, key: CacheKey, *, materialize: bool = True):
         """Two-tier lookup by precomputed key; None (and a counted miss) if absent.
 
         A disk hit is promoted into the in-memory tier so subsequent lookups
-        in this process stay off the filesystem.
+        in this process stay off the filesystem.  Entries are stored in
+        whatever form they were computed — eager ``SimulationReport`` or
+        single-trace ``ColumnarReportBatch``.  With ``materialize=True`` (the
+        default) a columnar hit is returned as its materialized report (the
+        batch memoizes it, so the object tax is paid once per key no matter
+        how many lookups follow); ``materialize=False`` returns the raw entry
+        for callers that keep results columnar, e.g. sweep aggregation and
+        the worker wire.
         """
+        hit = None
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 _MEMORY_HITS.inc()
-                return cached
-        store = self.store
-        if store is not None:
-            report = store.get(REPORT_ARTIFACT_KIND, artifact_key_for(key))
-            if isinstance(report, SimulationReport):
-                with self._lock:
-                    self.stats.disk_hits += 1
-                    _DISK_HITS.inc()
-                    return self._insert_memory(key, report)
+                hit = cached
+        if hit is None:
+            store = self.store
+            if store is not None:
+                report = store.get(REPORT_ARTIFACT_KIND, artifact_key_for(key))
+                if self._acceptable(report):
+                    with self._lock:
+                        self.stats.disk_hits += 1
+                        _DISK_HITS.inc()
+                        hit = self._insert_memory(key, report)
+        if hit is not None:
+            return ensure_report(hit) if materialize else hit
         with self._lock:
             self.stats.misses += 1
             _MISSES.inc()
         return None
 
-    def insert_key(self, key: CacheKey, report: SimulationReport) -> SimulationReport:
-        """Insert a computed report into both tiers; first writer wins in memory."""
+    def insert_key(self, key: CacheKey, report):
+        """Insert a computed result into both tiers; first writer wins in memory.
+
+        ``report`` may be an eager ``SimulationReport`` or a single-trace
+        ``ColumnarReportBatch``; the stored (and returned) entry keeps that
+        form.
+        """
+        if not self._acceptable(report):
+            raise TypeError(
+                "cache entries must be SimulationReport or single-trace "
+                f"ColumnarReportBatch, got {type(report).__name__}"
+            )
         store = self.store
         if store is not None:
             artifact_key = artifact_key_for(key)
@@ -271,7 +303,7 @@ class ReportCache:
         with self._lock:
             return self._insert_memory(key, report)
 
-    def _insert_memory(self, key: CacheKey, report: SimulationReport) -> SimulationReport:
+    def _insert_memory(self, key: CacheKey, report):
         """Insert under the held lock, evicting LRU entries beyond capacity."""
         self._entries.setdefault(key, report)
         self._entries.move_to_end(key)

@@ -28,6 +28,7 @@ from ..diffusion.fid import FeatureStatistics
 from . import codec
 from .artifacts import ArtifactStoreStats, EvictionResult, MigrationResult
 from .codec import Decoder, Encoder, register_dataclass, register_schema
+from .columnar import ARRAY_FIELDS, ColumnarReportBatch
 from .costs import CostSummary
 from .pipeline import HardwareEvaluation, QuantizationEvaluation
 from .report_cache import CacheStats
@@ -89,6 +90,60 @@ register_dataclass(LayerExecutionResult, "layer_execution_result")
 register_dataclass(StepResult, "step_result")
 register_dataclass(DetectorStats, "detector_stats")
 register_dataclass(SimulationReport, "simulation_report")
+
+# Integer-valued columns of a columnar batch; everything else is float64.
+_COLUMNAR_INT_FIELDS = frozenset(
+    {
+        "traces_per_config",
+        "trace_steps",
+        "step_sizes",
+        "dense_channels",
+        "sparse_channels",
+        "detector_updates",
+        "detector_channels",
+    }
+)
+
+
+def _encode_columnar_batch(batch: ColumnarReportBatch, ctx: Encoder) -> dict:
+    # One envelope for the whole (config x trace x step x layer) grid: two
+    # string lists plus one $ndarray sidecar per column, instead of thousands
+    # of nested report/step/layer dicts.
+    doc: dict[str, Any] = {
+        "config_names": list(batch.config_names),
+        "layer_names": list(batch.layer_names),
+    }
+    for name in ARRAY_FIELDS:
+        doc[name] = ctx.ndarray(getattr(batch, name))
+    return doc
+
+
+def _decode_columnar_batch(doc: Mapping[str, Any], ctx: Decoder) -> ColumnarReportBatch:
+    for key in ("config_names", "layer_names"):
+        names = doc[key]
+        if not isinstance(names, list) or not all(isinstance(name, str) for name in names):
+            raise codec.SchemaError(f"columnar_report_batch {key!r} must be a list of strings")
+    arrays = {
+        name: ctx.ndarray(doc[name], dtype="int64" if name in _COLUMNAR_INT_FIELDS else "float64")
+        for name in ARRAY_FIELDS
+    }
+    try:
+        return ColumnarReportBatch(
+            config_names=list(doc["config_names"]),
+            layer_names=list(doc["layer_names"]),
+            **arrays,
+        )
+    except ValueError as exc:
+        raise codec.SchemaError(f"inconsistent columnar_report_batch: {exc}") from None
+
+
+register_schema(
+    "columnar_report_batch",
+    1,
+    _encode_columnar_batch,
+    _decode_columnar_batch,
+    type=ColumnarReportBatch,
+)
 
 # -- pipeline evaluations ----------------------------------------------------------
 

@@ -593,6 +593,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "sweep_wall_clock_s": "s",
         "per_config_sweep_wall_clock_s": "s",
         "cross_config_speedup": "x",
+        "report_assembly_entries_per_sec": "entries/s",
+        "sweep_peak_alloc_mb": "MiB",
         "service_jobs_per_sec": "jobs/s",
         "service_job_latency_p50_s": "s",
         "service_job_latency_p95_s": "s",

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import AcceleratorSimulator, SimulationReport, WorkloadTrace
+from ..core.columnar import ensure_report
 from ..core.report_cache import DEFAULT_REPORT_CACHE, CacheKey, ReportCache
 from ..core.telemetry import MetricsRegistry, get_registry
 
@@ -171,27 +172,36 @@ def run_batched(
     requests: list[SimulationRequest],
     cache: ReportCache | None = None,
     stats: BatchStats | None = None,
+    materialize: bool = True,
 ) -> list[SimulationReport]:
     """Serve simulation requests through the cache, batching the misses.
 
-    Returns one report per request, in request order.  Every unique key costs
+    Returns one result per request, in request order.  Every unique key costs
     at most one cache lookup and (on a miss) exactly one simulated trace;
     misses sharing an energy table and backend run as a single batched pass —
     cross-config on the vectorized backend, per-config otherwise.
+
+    On columnar backends the kernel returns one
+    :class:`~repro.core.columnar.ColumnarReportBatch` for the whole group,
+    which is sliced (pure array copies, no objects) into per-key single-trace
+    batches for the cache.  With ``materialize=True`` (the default) every
+    returned result is a :class:`SimulationReport`; ``materialize=False``
+    returns raw cache entries — reports or single-trace batches — for callers
+    that keep sweep results columnar until someone indexes a specific report.
     """
     # Explicit None check: an empty ReportCache is falsy (it has __len__).
     cache = DEFAULT_REPORT_CACHE if cache is None else cache
-    reports: dict[CacheKey, SimulationReport] = {}
+    results: dict[CacheKey, object] = {}
 
     pending: list[SimulationRequest] = []
     seen_pending: set[CacheKey] = set()
     for request in requests:
         key = request.key()
-        if key in reports or key in seen_pending:
+        if key in results or key in seen_pending:
             continue
-        cached = cache.lookup_key(key)
+        cached = cache.lookup_key(key, materialize=False)
         if cached is not None:
-            reports[key] = cached
+            results[key] = cached
         else:
             seen_pending.add(key)
             pending.append(request)
@@ -200,21 +210,36 @@ def run_batched(
         partitions = _config_partitions(group)
         first = group[0]
         simulator = AcceleratorSimulator(first.config, first.energy_table, backend=first.backend)
-        if len(partitions) == 1:
-            # Single configuration: the established cross-trace fast path.
-            batch = partitions[0]
-            batch_reports = [simulator.run_traces([request.trace for request in batch])]
-        else:
-            batch_reports = simulator.run_config_traces(
-                [
-                    (partition[0].config, [request.trace for request in partition])
-                    for partition in partitions
-                ]
-            )
+        entries = [
+            (partition[0].config, [request.trace for request in partition])
+            for partition in partitions
+        ]
         if stats is not None:
             stats.record_group(num_configs=len(partitions), num_traces=len(group))
+        batch = simulator.run_config_traces_columnar(entries)
+        if batch is not None:
+            # Columnar fast path: one kernel call for the whole group (also
+            # for single-config groups — the kernel's cross-trace and
+            # cross-config flattening coincide there), then per-key slices.
+            # _segment_sums keeps every slice bit-identical to a solo run.
+            flat = 0
+            for partition in partitions:
+                for request in partition:
+                    results[request.key()] = cache.insert_key(
+                        request.key(), batch.slice_trace(flat)
+                    )
+                    flat += 1
+            continue
+        # Eager fallback for backends without the columnar entry point
+        # (notably the reference oracle, which carries per-PE results).
+        if len(partitions) == 1:
+            batch_reports = [simulator.run_traces([request.trace for request in partitions[0]])]
+        else:
+            batch_reports = simulator.run_config_traces(entries)
         for partition, partition_reports in zip(partitions, batch_reports):
             for request, report in zip(partition, partition_reports):
-                reports[request.key()] = cache.insert_key(request.key(), report)
+                results[request.key()] = cache.insert_key(request.key(), report)
 
-    return [reports[request.key()] for request in requests]
+    if materialize:
+        return [ensure_report(results[request.key()]) for request in requests]
+    return [results[request.key()] for request in requests]

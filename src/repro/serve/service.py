@@ -47,6 +47,7 @@ from ..accelerator.config import AcceleratorConfig
 from ..accelerator.energy import EnergyTable
 from ..accelerator.simulator import WorkloadTrace
 from ..core import telemetry
+from ..core.columnar import ensure_report
 from ..core.execution import ensure_picklable
 from ..core.report_cache import CacheKey, DEFAULT_REPORT_CACHE, ReportCache
 from .fleet import WorkerFleet
@@ -79,7 +80,11 @@ class _JobSink:
         return self.job.mark_running()
 
     def deliver(self, report: Any) -> None:
-        self.job.mark_done(report)
+        # Batches stay columnar through the scheduler and cache; a plain
+        # simulation job's caller asked for one report, so materialize here
+        # (memoized on the batch — repeat deliveries of the same entry are
+        # dict lookups).
+        self.job.mark_done(ensure_report(report))
 
     def fail(self, error: BaseException) -> None:
         self.job.mark_failed(error)
@@ -620,7 +625,7 @@ class EvaluationService:
         miss_sinks: dict[int, Any] = {}
         misses: list[SimulationRequest] = []
         for sink, request in zip(sinks, requests):
-            cached = self.cache.lookup_key(request.key())
+            cached = self.cache.lookup_key(request.key(), materialize=False)
             if cached is not None:
                 live = sink.claim()
                 self._finish_group([sink if live else None], [request], reports=[cached])
@@ -663,7 +668,9 @@ class EvaluationService:
                 sink.trace_mark("kernel", batch=len(live_requests))
         try:
             with telemetry.span("scheduler.batch", requests=len(live_requests)):
-                reports = run_batched(live_requests, cache=self.cache, stats=self.batch_stats)
+                reports = run_batched(
+                    live_requests, cache=self.cache, stats=self.batch_stats, materialize=False
+                )
         except Exception as exc:  # noqa: BLE001 - a bad group fails its own jobs only
             self._finish_group(live_sinks, live_requests, error=exc)
             return

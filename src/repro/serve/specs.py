@@ -47,6 +47,7 @@ from ..accelerator.simulator import SimulationReport, WorkloadTrace
 from ..accelerator.workload import ConvLayerWorkload
 from ..core import codec
 from ..core.codec import Decoder, Encoder, register_schema
+from ..core.columnar import ColumnarReportBatch, ensure_report
 from ..core.schemas import WORKLOAD_TRACE_SCHEMA
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -286,14 +287,72 @@ class SweepJobSpec:
         return requests
 
 
-@dataclass
 class SweepJobResult:
-    """A planned sweep's outcome: one report per case, plus the baseline."""
+    """A planned sweep's outcome: one report per case, plus the baseline.
 
-    name: str
-    params: list[dict[str, Any]]
-    reports: list[SimulationReport]
-    baseline: SimulationReport | None = None
+    Results are held in whatever form the scheduler produced them — eager
+    :class:`SimulationReport` objects or single-trace
+    :class:`~repro.core.columnar.ColumnarReportBatch` slices — and stay
+    columnar until a caller indexes a specific report.  :attr:`reports` /
+    :attr:`baseline` materialize (and memoize) on first access, so
+    sweep-level consumers that only read array aggregates or re-encode the
+    result for the wire never pay the per-report object tax.
+    """
+
+    __slots__ = ("name", "params", "_case_results", "_baseline_result", "_reports")
+
+    def __init__(
+        self,
+        name: str,
+        params: list[dict[str, Any]],
+        reports: "list[SimulationReport | ColumnarReportBatch]",
+        baseline: "SimulationReport | ColumnarReportBatch | None" = None,
+    ):
+        self.name = name
+        self.params = list(params)
+        self._case_results = list(reports)
+        self._baseline_result = baseline
+        self._reports: list[SimulationReport] | None = None
+
+    @property
+    def reports(self) -> list[SimulationReport]:
+        """Materialized per-case reports (built on first access, then cached)."""
+        if self._reports is None:
+            self._reports = [ensure_report(result) for result in self._case_results]
+        return self._reports
+
+    @property
+    def baseline(self) -> SimulationReport | None:
+        """The materialized baseline report, if the sweep requested one."""
+        if self._baseline_result is None:
+            return None
+        return ensure_report(self._baseline_result)
+
+    def case_results(self) -> "list[SimulationReport | ColumnarReportBatch]":
+        """Per-case results in stored (possibly columnar) form, for the wire."""
+        return list(self._case_results)
+
+    def baseline_result(self) -> "SimulationReport | ColumnarReportBatch | None":
+        """The baseline result in stored (possibly columnar) form."""
+        return self._baseline_result
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, SweepJobResult):
+            return NotImplemented
+        # Compare materialized values: a columnar slice and the eager report
+        # it materializes to are the same result.
+        return (
+            self.name == other.name
+            and self.params == other.params
+            and self.reports == other.reports
+            and self.baseline == other.baseline
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepJobResult(name={self.name!r}, cases={len(self._case_results)}, "
+            f"baseline={self._baseline_result is not None})"
+        )
 
 
 #: Spec types the HTTP layer accepts in ``POST /jobs`` envelopes.
@@ -361,4 +420,79 @@ register_schema("sweep_spec", 1, _encode_sweep, _decode_sweep, type=SweepJobSpec
 
 codec.register_dataclass(QualityJobSpec, "quality_spec")
 codec.register_dataclass(CallableJobSpec, "callable_spec")
-codec.register_dataclass(SweepJobResult, "sweep_result")
+
+
+def _decode_result_item(value: Any, ctx: Decoder, what: str) -> Any:
+    item = ctx.value(value)
+    if isinstance(item, SimulationReport):
+        return item
+    if isinstance(item, ColumnarReportBatch) and item.num_traces == 1:
+        return item
+    raise codec.SchemaError(
+        f"{what} must be simulation_report or single-trace "
+        f"columnar_report_batch envelopes, got {type(item).__name__}"
+    )
+
+
+def _encode_sweep_result_v1(result: SweepJobResult, ctx: Encoder) -> dict:
+    # Legacy shape (the register_dataclass layout of the eager class):
+    # reports materialized per case.  Kept so version-pinned peers can still
+    # be answered; current peers speak @2, which ships results columnar.
+    return {
+        "name": result.name,
+        "params": ctx.value(result.params),
+        "reports": [ctx.value(report) for report in result.reports],
+        "baseline": None if result.baseline is None else ctx.value(result.baseline),
+    }
+
+
+def _decode_sweep_result_v1(doc: Mapping[str, Any], ctx: Decoder) -> SweepJobResult:
+    reports = doc.get("reports", [])
+    if not isinstance(reports, list):
+        raise codec.SchemaError("sweep_result 'reports' must be a list")
+    return SweepJobResult(
+        name=ctx.value(doc.get("name")),
+        params=ctx.value(doc.get("params", [])),
+        reports=[_decode_result_item(item, ctx, "'reports' items") for item in reports],
+        baseline=(
+            None
+            if doc.get("baseline") is None
+            else _decode_result_item(doc["baseline"], ctx, "'baseline'")
+        ),
+    )
+
+
+def _encode_sweep_result(result: SweepJobResult, ctx: Encoder) -> dict:
+    # v2 ships results in stored form: single-trace columnar batches stay
+    # columnar (one envelope with $ndarray sidecars per case), so encoding a
+    # sweep result materializes nothing.
+    return {
+        "name": result.name,
+        "params": ctx.value(result.params),
+        "results": [ctx.value(item) for item in result.case_results()],
+        "baseline": (
+            None if result.baseline_result() is None else ctx.value(result.baseline_result())
+        ),
+    }
+
+
+def _decode_sweep_result(doc: Mapping[str, Any], ctx: Decoder) -> SweepJobResult:
+    results = doc.get("results", [])
+    if not isinstance(results, list):
+        raise codec.SchemaError("sweep_result 'results' must be a list")
+    return SweepJobResult(
+        name=ctx.value(doc.get("name")),
+        params=ctx.value(doc.get("params", [])),
+        reports=[_decode_result_item(item, ctx, "'results' items") for item in results],
+        baseline=(
+            None
+            if doc.get("baseline") is None
+            else _decode_result_item(doc["baseline"], ctx, "'baseline'")
+        ),
+    )
+
+
+register_schema("sweep_result", 1, _encode_sweep_result_v1, _decode_sweep_result_v1)
+# Type dispatch resolves to the highest registered version, so plain
+# codec.encode(result) speaks @2.
+register_schema("sweep_result", 2, _encode_sweep_result, _decode_sweep_result, type=SweepJobResult)

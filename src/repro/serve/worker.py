@@ -231,8 +231,10 @@ class WorkerRuntime:
             requests = [
                 _spec_to_request(codec.decode(payload)) for payload in task["specs"]
             ]
-            reports = run_batched(requests, cache=self._cache)
-            encoded = [codec.encode(report) for report in reports]
+            # Ship raw results: a columnar slice crosses the wire as one
+            # columnar_report_batch envelope instead of a report object tree.
+            results = run_batched(requests, cache=self._cache, materialize=False)
+            encoded = [codec.encode(result) for result in results]
         except Exception as exc:  # noqa: BLE001 - reported to the server, not fatal here
             self.tasks_failed += 1
             self._complete(worker_id, task_id, error=f"{type(exc).__name__}: {exc}")

@@ -44,6 +44,8 @@ class TestBenchHarness:
             "sweep_wall_clock_s",
             "per_config_sweep_wall_clock_s",
             "cross_config_speedup",
+            "report_assembly_entries_per_sec",
+            "sweep_peak_alloc_mb",
             "service_jobs_per_sec",
             "service_job_latency_p50_s",
             "service_job_latency_p95_s",

@@ -43,6 +43,15 @@ def make_report():
     return AcceleratorSimulator(sqdm_config()).run_trace(make_trace())
 
 
+def make_columnar_batch():
+    return AcceleratorSimulator(sqdm_config()).run_config_traces_columnar(
+        [
+            (sqdm_config(), [make_trace(0), make_trace(1)]),
+            (sqdm_config(sparsity_threshold=0.8), [make_trace(2)]),
+        ]
+    )
+
+
 def _energy(scale: float = 1.0) -> EnergyBreakdown:
     return EnergyBreakdown(
         mac_pj=1.0 * scale,
@@ -174,11 +183,14 @@ def sample_objects() -> dict[str, tuple]:
             ),
             None,
         ),
+        "columnar_report_batch": (make_columnar_batch(), None),
         "sweep_result": (
             SweepJobResult(
                 name="grid",
-                params=[{"sparsity_threshold": 0.1}],
-                reports=[report],
+                params=[{"sparsity_threshold": 0.1}, {"sparsity_threshold": 0.3}],
+                # Mixed stored forms: an eager report and a still-columnar
+                # single-trace slice, the two shapes @2 carries on the wire.
+                reports=[report, make_columnar_batch().slice_trace(0)],
                 baseline=report,
             ),
             None,

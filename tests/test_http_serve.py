@@ -22,6 +22,7 @@ import urllib.request
 import pytest
 
 from repro.accelerator import AcceleratorSimulator, dense_baseline_config, sqdm_config
+from repro.core import codec
 from repro.core.artifacts import ArtifactStore
 from repro.core.experiments import run_sweep
 from repro.core.report_cache import ReportCache
@@ -94,8 +95,11 @@ class TestEndpoints:
         client, _, _, _ = served
         listing = client.schemas()
         assert listing["wire_version"] == 1
-        for name in ("simulate_spec", "sweep_spec", "simulation_report", "sweep_result"):
+        for name in ("simulate_spec", "sweep_spec", "simulation_report"):
             assert listing["schemas"][name] == [1]
+        # sweep_result grew a columnar @2; @1 stays decodable for old peers.
+        assert listing["schemas"]["sweep_result"] == [1, 2]
+        assert listing["schemas"]["columnar_report_batch"] == [1]
 
     def test_cache_stats_shape(self, served):
         client, _, _, _ = served
@@ -549,10 +553,16 @@ class TestRawJSONWire:
             time.sleep(0.02)
         assert doc["status"] == "done", doc
         result = doc["result"]
-        assert result["$schema"] == "sweep_result@1"
-        assert [case["$schema"] for case in result["reports"]] == ["simulation_report@1"] * 2
-        assert all(case["total_cycles"] > 0 for case in result["reports"])
-        assert result["baseline"]["total_cycles"] > 0
+        assert result["$schema"] == "sweep_result@2"
+        # Cases ride the wire columnar, one single-trace batch per case.
+        assert [case["$schema"] for case in result["results"]] == [
+            "columnar_report_batch@1"
+        ] * 2
+        assert result["baseline"]["$schema"] == "columnar_report_batch@1"
+        for case_doc in [*result["results"], result["baseline"]]:
+            case = codec.decode(case_doc)
+            assert case.num_traces == 1
+            assert float(case.total_cycles[0]) > 0
 
     def test_http_and_client_modules_are_pickle_free(self):
         """The serve wire modules must not import pickle or base64 at all."""

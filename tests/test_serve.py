@@ -128,13 +128,13 @@ class TestRunBatched:
         ]
 
         calls: list[list[int]] = []
-        original = AcceleratorSimulator.run_config_traces
+        original = AcceleratorSimulator.run_config_traces_columnar
 
         def counting(self, entries):
             calls.append([len(traces) for _, traces in entries])
             return original(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces", counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", counting)
         cache = ReportCache()
         stats = BatchStats()
         reports = run_batched(requests, cache=cache, stats=stats)
@@ -151,21 +151,21 @@ class TestRunBatched:
             assert report.total_cycles == expected.total_cycles
             assert report.config_name == request.config.name
 
-    def test_single_config_group_takes_run_traces_fast_path(self, monkeypatch):
-        """A group with one distinct configuration must not pay the
-        cross-config entry point; it keeps the established run_traces path."""
-        run_traces_calls: list[int] = []
-        original = AcceleratorSimulator.run_traces
+    def test_single_config_group_is_one_kernel_call(self, monkeypatch):
+        """A group with one distinct configuration still costs exactly one
+        kernel call (the columnar entry point) and counts as single-config."""
+        calls: list[list[int]] = []
+        original = AcceleratorSimulator.run_config_traces_columnar
 
-        def counting(self, traces):
-            run_traces_calls.append(len(traces))
-            return original(self, traces)
+        def counting(self, entries):
+            calls.append([len(traces) for _, traces in entries])
+            return original(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", counting)
         requests = [SimulationRequest(sqdm_config(), make_trace(seed)) for seed in range(3)]
         stats = BatchStats()
         run_batched(requests, cache=ReportCache(), stats=stats)
-        assert run_traces_calls == [3]
+        assert calls == [[3]]
         assert stats.kernel_calls == 1
         assert stats.single_config_calls == 1
         assert stats.cross_config_calls == 0
@@ -215,13 +215,13 @@ def _module_level_boom():
 class TestEvaluationService:
     def test_simulation_jobs_coalesce_and_complete(self, monkeypatch):
         calls: list[int] = []
-        original = AcceleratorSimulator.run_traces
+        original = AcceleratorSimulator.run_config_traces_columnar
 
-        def counting(self, traces):
-            calls.append(len(traces))
-            return original(self, traces)
+        def counting(self, entries):
+            calls.append(sum(len(traces) for _, traces in entries))
+            return original(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", counting)
 
         traces = [make_trace(seed) for seed in range(4)]
         cache = ReportCache()
@@ -358,10 +358,10 @@ class TestSweepJobs:
             assert service.jobs() == []
 
     def test_sweep_failure_marks_job_failed(self, monkeypatch):
-        def explode(self, traces):
+        def explode(self, entries):
             raise RuntimeError("sim exploded")
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", explode)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", explode)
         spec = SweepJobSpec(
             base=sqdm_config(), grid={"sparsity_threshold": [0.2]}, trace=make_trace(3)
         )
@@ -386,13 +386,13 @@ class TestSweepJobs:
         monkeypatch.setattr(service_module, "coalesce_requests", gated)
 
         simulated: list[int] = []
-        original_run = AcceleratorSimulator.run_traces
+        original_run = AcceleratorSimulator.run_config_traces_columnar
 
-        def counting(self, traces):
-            simulated.append(len(traces))
-            return original_run(self, traces)
+        def counting(self, entries):
+            simulated.append(sum(len(traces) for _, traces in entries))
+            return original_run(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", counting)
 
         with EvaluationService(cache=ReportCache(), max_workers=2) as service:
             blocker = service.submit_simulation(sqdm_config(), make_trace(1))
@@ -447,13 +447,13 @@ class TestCancellation:
         monkeypatch.setattr(service_module, "coalesce_requests", gated)
 
         simulated: list[int] = []
-        original_run = AcceleratorSimulator.run_traces
+        original_run = AcceleratorSimulator.run_config_traces_columnar
 
-        def counting(self, traces):
-            simulated.append(len(traces))
-            return original_run(self, traces)
+        def counting(self, entries):
+            simulated.append(sum(len(traces) for _, traces in entries))
+            return original_run(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", counting)
 
         with EvaluationService(cache=ReportCache(), max_workers=2) as service:
             job = service.submit_simulation(sqdm_config(), make_trace(1))
@@ -508,14 +508,14 @@ class TestSingleFlight:
         attach to it instead of re-simulating (N clients, one sweep)."""
         release = threading.Event()
         simulated: list[int] = []
-        original_run = AcceleratorSimulator.run_traces
+        original_run = AcceleratorSimulator.run_config_traces_columnar
 
-        def slow_counting(self, traces):
+        def slow_counting(self, entries):
             release.wait(30)
-            simulated.append(len(traces))
-            return original_run(self, traces)
+            simulated.append(sum(len(traces) for _, traces in entries))
+            return original_run(self, entries)
 
-        monkeypatch.setattr(AcceleratorSimulator, "run_traces", slow_counting)
+        monkeypatch.setattr(AcceleratorSimulator, "run_config_traces_columnar", slow_counting)
 
         trace = make_trace(11)
         cache = ReportCache()
