@@ -17,7 +17,7 @@ from .detector import ChannelClassification
 from .memory import ActivationMapping, WeightMapping
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchPlan:
     """Address ranges a PE must fetch to process one channel group."""
 

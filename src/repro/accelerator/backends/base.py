@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..simulator import SimulationReport, WorkloadTrace
 
 
-@dataclass
+@dataclass(slots=True)
 class DetectorStats:
     """Temporal-sparsity-detector activity observed during the last run."""
 

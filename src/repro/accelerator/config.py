@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PEConfig:
     """Configuration of a single processing element.
 
@@ -42,7 +42,7 @@ class PEConfig:
             raise ValueError("sparse_utilization must be in (0, 1]")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceleratorConfig:
     """Top-level accelerator configuration (Fig. 9).
 

@@ -30,7 +30,7 @@ def precision_packing_factor(bits: int) -> float:
     return max(16.0 / bits, 1.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class DatapathResult:
     """Latency and energy of executing one channel-group workload on a datapath."""
 

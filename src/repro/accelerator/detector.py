@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelClassification:
     """Dense/sparse split of a layer's input channels at one time step."""
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnergyTable:
     """Per-operation energies in picojoules at 28 nm, 1 V nominal."""
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActivationMapping:
     """Channel-last address mapping for an activation tensor of shape (C, H, W)."""
 
@@ -60,7 +60,7 @@ class ActivationMapping:
         return tensor.reshape(-1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WeightMapping:
     """Channel-last address mapping for a weight tensor of shape (K, C, R, S).
 
@@ -107,7 +107,7 @@ class WeightMapping:
         return np.transpose(tensor, (1, 0, 2, 3)).reshape(-1)
 
 
-@dataclass
+@dataclass(slots=True)
 class SparseChannelRecord:
     """Compressed storage of one sparse activation channel (values + bitmap)."""
 
@@ -137,7 +137,7 @@ def compress_channel(channel_data: np.ndarray, channel_index: int) -> SparseChan
     return SparseChannelRecord(channel=channel_index, values=flat[flat != 0.0], bitmap=bitmap)
 
 
-@dataclass
+@dataclass(slots=True)
 class GlobalBuffer:
     """Capacity/traffic model of the shared global buffer.
 

@@ -20,7 +20,7 @@ from .energy import EnergyTable
 GLOBAL_BUFFER_NODE = "glb"
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferResult:
     """Latency and energy of moving one operand block over the NoC."""
 

@@ -82,7 +82,7 @@ class StepResult:
         return sum(r.executed_macs for r in self.layer_results)
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationReport:
     """Full simulation result across all time steps."""
 
@@ -279,7 +279,7 @@ class AcceleratorSimulator:
         return runner(entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class ComparisonResult:
     """Speed-up and energy saving of one configuration relative to a baseline."""
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class ConvLayerWorkload:
     """One convolution layer's execution at one diffusion time step.
 

@@ -71,7 +71,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from . import codec
-from .telemetry import get_registry
+from .telemetry import event_log, get_registry
 
 # Process-wide disk-tier telemetry, aggregated across every store instance
 # (per-store counts stay on each instance's ``ArtifactStoreStats``).
@@ -237,8 +237,8 @@ class ArtifactStore:
         # this process, refreshed by every full evict() scan) gates the size
         # cap, and a timestamp throttles TTL passes — so writes stay O(1)
         # instead of re-scanning the whole store each time.
-        self._approx_bytes: int | None = None
-        self._last_ttl_evict = 0.0
+        self._approx_bytes: int | None = None  #: guarded by _lock
+        self._last_ttl_evict = 0.0  #: guarded by _lock (monotonic seconds)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ArtifactStore(root={str(self.root)!r})"
@@ -354,7 +354,10 @@ class ArtifactStore:
         """
         if self.max_bytes is None and self.ttl_seconds is None:
             return False
-        now = time.time()
+        # Rate-limiter arithmetic must not jump with NTP steps: an hour-long
+        # wall-clock step would stall (or double-fire) the TTL pass for an
+        # hour.  Only the on-disk stamp comparisons in evict() use wall time.
+        now = time.monotonic()
         with self._lock:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
@@ -583,7 +586,10 @@ class ArtifactStore:
             try:
                 obj = pickle.loads(blob[header_len:])
                 self.put(kind, key, obj)
-            except Exception:  # noqa: BLE001 - unpicklable or schema-less artifact
+            except Exception as exc:  # noqa: BLE001 - unpicklable or schema-less artifact
+                event_log().emit(
+                    "artifacts.migrate_failed", level="warning", kind=kind, key=key, error=repr(exc)
+                )
                 result.failed += 1
                 continue
             self._write_stamp(path, last_used)
@@ -621,7 +627,9 @@ class ArtifactStore:
             entries.append((self._last_used(path, stat), stat.st_size, path))
 
         result = EvictionResult()
-        now = time.time()
+        # Stamp mtimes are wall-clock by nature (written by any process that
+        # touches the store), so the TTL comparison must be wall-clock too.
+        now = time.time()  # repro: allow[REP002] cross-process stamp mtimes are wall-clock
 
         def remove(entry: tuple[float, int, Path]) -> bool:
             _, size, path = entry

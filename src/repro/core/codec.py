@@ -217,7 +217,7 @@ def _parse_tag(tag: Any) -> tuple[str, int]:
 class Encoder:
     """Encoding context: value recursion plus the optional binary sidecar sink."""
 
-    def __init__(self, arrays: list[bytes] | None = None):
+    def __init__(self, arrays: list[bytes] | None = None) -> None:
         self.arrays = arrays
 
     # -- leaves ---------------------------------------------------------------
@@ -314,7 +314,7 @@ def _is_plain_value(obj: Any) -> bool:
 class Decoder:
     """Decoding context: value recursion plus the optional sidecar buffers."""
 
-    def __init__(self, buffers: Sequence[bytes] | None = None):
+    def __init__(self, buffers: Sequence[bytes] | None = None) -> None:
         self.buffers = buffers
 
     def _unpack_buffer(self, payload: Any) -> bytes:

@@ -104,7 +104,7 @@ def _as_1d(array: np.ndarray, dtype: type, name: str, length: int) -> np.ndarray
     return array
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class ColumnarReportBatch:
     """A ``(config x trace x step x layer)`` result grid in columnar form.
 

@@ -45,7 +45,7 @@ in at import time.
 from __future__ import annotations
 
 import itertools
-import pickle
+import pickle  # repro: allow[REP001] picklability *guard* only — nothing is ever deserialized
 import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -53,6 +53,8 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from .telemetry import event_log
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; serve imports stay lazy
     from ..serve.client import RemoteEvaluationClient
@@ -292,7 +294,7 @@ class CompletedHandle(JobHandle):
         kind: str,
         value: Any = None,
         error: BaseException | None = None,
-    ):
+    ) -> None:
         self.id = id
         self.label = label
         self.kind = kind
@@ -323,14 +325,16 @@ class CompletedHandle(JobHandle):
     def add_done_callback(self, fn: Callable[[JobHandle], None]) -> None:
         try:
             fn(self)
-        except Exception:  # noqa: BLE001 - same contract as every other backend
-            pass
+        except Exception as exc:  # noqa: BLE001 - same contract as every other backend
+            event_log().emit(
+                "executor.callback_error", level="warning", job=self.id, error=repr(exc)
+            )
 
 
 class FutureHandle(JobHandle):
     """A job running on a :mod:`concurrent.futures` pool."""
 
-    def __init__(self, id: str, label: str, kind: str, future: Future):  # noqa: A002
+    def __init__(self, id: str, label: str, kind: str, future: Future) -> None:  # noqa: A002
         self.id = id
         self.label = label
         self.kind = kind
@@ -387,7 +391,7 @@ class FutureHandle(JobHandle):
 class ServiceJobHandle(JobHandle):
     """A job queued on an in-process :class:`EvaluationService`."""
 
-    def __init__(self, service: "EvaluationService", job: Any):
+    def __init__(self, service: "EvaluationService", job: Any) -> None:
         self._service = service
         self._job = job
         self.id = job.id
@@ -422,7 +426,7 @@ class ServiceJobHandle(JobHandle):
 class RemoteJobHandle(JobHandle):
     """A job living on a remote ``repro serve`` endpoint."""
 
-    def __init__(self, client: "RemoteEvaluationClient", job: Any):
+    def __init__(self, client: "RemoteEvaluationClient", job: Any) -> None:
         self._client = client
         self._job = job
         self.id = job.id
@@ -477,8 +481,10 @@ class RemoteJobHandle(JobHandle):
         for fn in callbacks:
             try:
                 fn(self)
-            except Exception:  # noqa: BLE001 - callbacks must not kill the watcher
-                pass
+            except Exception as exc:  # noqa: BLE001 - callbacks must not kill the watcher
+                event_log().emit(
+                    "executor.callback_error", level="warning", job=self.id, error=repr(exc)
+                )
 
 
 # -- the executor protocol ---------------------------------------------------------
@@ -539,7 +545,7 @@ class InlineExecutor(Executor):
 
     name = "inline"
 
-    def __init__(self, cache: "ReportCache | None" = None):
+    def __init__(self, cache: "ReportCache | None" = None) -> None:
         self.cache = cache
         self._ids = itertools.count(1)
         self._submitted = 0
@@ -587,6 +593,7 @@ class InlineExecutor(Executor):
                 # Raw (possibly columnar) entries: sweep results stay lazy,
                 # simulate handles materialize their one report below.
                 reports = run_batched(requests, cache=self.cache, materialize=False)
+            # repro: allow[REP009] error is recorded on every affected handle below
             except Exception as exc:  # noqa: BLE001 - recorded per handle below
                 simulation_error = exc
 
@@ -609,6 +616,7 @@ class InlineExecutor(Executor):
             else:
                 try:
                     value, error = execute_spec(spec, cache=self.cache), None
+                # repro: allow[REP009] exception is captured as the handle's error sentinel
                 except Exception as exc:  # noqa: BLE001 - captured on the handle
                     value, error = None, exc
             if error is not None:
@@ -636,7 +644,7 @@ class PoolExecutor(Executor):
         kind: str = "thread",
         max_workers: int | None = None,
         cache: "ReportCache | None" = None,
-    ):
+    ) -> None:
         if kind not in ("thread", "process"):
             raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
         self.kind = kind
@@ -691,7 +699,7 @@ class ServiceExecutor(Executor):
         cache: "ReportCache | None" = None,
         max_workers: int | None = None,
         process_workers: int | None = None,
-    ):
+    ) -> None:
         self._owned = service is None
         if service is None:
             from ..serve.service import EvaluationService
@@ -743,7 +751,7 @@ class RemoteExecutor(Executor):
         endpoint: str | None = None,
         client: "RemoteEvaluationClient | None" = None,
         **client_options: Any,
-    ):
+    ) -> None:
         self._owned = client is None
         if client is None:
             if endpoint is None:

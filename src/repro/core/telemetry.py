@@ -99,7 +99,7 @@ class _Metric:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, labels: Sequence[str], lock: threading.RLock):
+    def __init__(self, name: str, help: str, labels: Sequence[str], lock: threading.RLock) -> None:
         self.name = name
         self.help = help
         self.label_names = tuple(labels)
@@ -119,7 +119,7 @@ class Counter(_Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str, labels: Sequence[str], lock: threading.RLock):
+    def __init__(self, name: str, help: str, labels: Sequence[str], lock: threading.RLock) -> None:
         super().__init__(name, help, labels, lock)
         self._values: dict[LabelValues, float] = {}
 
@@ -152,7 +152,7 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str, labels: Sequence[str], lock: threading.RLock):
+    def __init__(self, name: str, help: str, labels: Sequence[str], lock: threading.RLock) -> None:
         super().__init__(name, help, labels, lock)
         self._values: dict[LabelValues, float] = {}
         self._fn: Callable[[], float] | None = None
@@ -228,7 +228,7 @@ class Histogram(_Metric):
         labels: Sequence[str],
         lock: threading.RLock,
         buckets: Sequence[float] = LATENCY_BUCKETS,
-    ):
+    ) -> None:
         super().__init__(name, help, labels, lock)
         uppers = tuple(float(b) for b in buckets)
         if not uppers or list(uppers) != sorted(set(uppers)):
@@ -353,7 +353,7 @@ class MetricsRegistry:
     (:meth:`collect`, :meth:`locked`) are consistent.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.RLock()
         self._metrics: dict[str, _Metric] = {}
 
@@ -480,7 +480,7 @@ class EventLog:
     call site.
     """
 
-    def __init__(self, level: str | None = None, stream: Any = None):
+    def __init__(self, level: str | None = None, stream: Any = None) -> None:
         if level is None:
             level = os.environ.get(LOG_ENV_VAR, "").strip().lower() or "off"
         self.configure(level=level, stream=stream)
@@ -507,6 +507,7 @@ class EventLog:
         """Write one structured event if the log is enabled for ``level``."""
         if not self.enabled(level):
             return
+        # repro: allow[REP002] log-record timestamp is display-only wall time
         record = {"ts": round(time.time(), 6), "level": level, "event": event}
         for key, value in fields.items():
             if isinstance(value, float):
@@ -547,7 +548,7 @@ class Span:
 
     def __init__(
         self, name: str, attrs: dict[str, Any] | None = None, parent: "Span | None" = None
-    ):
+    ) -> None:
         self.name = name
         self.attrs = attrs or {}
         self.start = time.monotonic()
@@ -620,7 +621,7 @@ class Trace:
 
     __slots__ = ("trace_id", "marks", "_lock")
 
-    def __init__(self, trace_id: str):
+    def __init__(self, trace_id: str) -> None:
         self.trace_id = trace_id
         self.marks: list[tuple[str, float, dict[str, Any]]] = []
         self._lock = threading.Lock()

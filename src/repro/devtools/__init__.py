@@ -1,0 +1,46 @@
+"""Developer tooling: machine-checked invariants for the repro codebase.
+
+Nine PRs in, the correctness of this reproduction rests on invariants that
+used to live only in prose and reviewer memory: the wire must stay
+pickle-free, duration math must use the monotonic clock, kernel reductions
+must keep a batch-shape-independent float association, every dataclass that
+crosses the wire needs a registered codec schema, and the lock sites across
+``serve/`` and ``core/`` must follow one acquisition discipline.  Large
+distributed acquisition systems bake conformance checks into the pipeline
+rather than trusting operators; this package is that layer for the repo:
+
+:mod:`repro.devtools.astcheck`
+    An AST-walking rule engine (``repro check``) with a registry of
+    repo-specific rules (REP001..REP010), ``file:line`` findings, JSON/text
+    reporters and inline suppressions
+    (``# repro: allow[RULE-ID] reason``).
+:mod:`repro.devtools.lockwatch`
+    An opt-in runtime race/deadlock detector (``REPRO_LOCKWATCH=1``) that
+    wraps ``threading.Lock``/``RLock`` acquisition, builds the cross-thread
+    lock-ordering graph while the test suite runs, and fails on ordering
+    cycles and held-lock blocking calls, with a report naming the
+    acquisition stacks.
+"""
+
+from .astcheck import (
+    CheckReport,
+    Finding,
+    render_json,
+    render_text,
+    rule_catalogue,
+    run_checks,
+    tracked_python_files,
+)
+from .lockwatch import LockWatch, LockWatchError
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "LockWatch",
+    "LockWatchError",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+    "run_checks",
+    "tracked_python_files",
+]

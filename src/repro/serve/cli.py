@@ -640,6 +640,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..devtools.astcheck import (
+        render_json,
+        render_text,
+        rule_catalogue,
+        run_checks,
+        tracked_python_files,
+    )
+
+    if args.list_rules:
+        for info in rule_catalogue():
+            print(f"{info.id}  {info.name:26s} [{info.severity}] {info.rationale}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if args.paths:
+        files = [Path(path) for path in args.paths]
+    else:
+        files = tracked_python_files(root)
+    try:
+        report = run_checks(files, root=root, rules=args.rules or None)
+    except ValueError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    exit_code = 0 if report.ok else 1
+
+    if args.typing:
+        # mypy is a CI/lint extra, not a runtime dependency; skip gracefully
+        # when it is not installed so `repro check --typing` works everywhere.
+        import importlib.util
+        import subprocess
+
+        if importlib.util.find_spec("mypy") is None:
+            print("repro check: mypy not installed; skipping typing gate", file=sys.stderr)
+        else:
+            outcome = subprocess.run(
+                [sys.executable, "-m", "mypy", "--config-file", str(root / "mypy.ini")],
+                cwd=root,
+            )
+            if outcome.returncode != 0:
+                exit_code = exit_code or 1
+    return exit_code
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -888,6 +939,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the benchmark payload (BENCH_<n>.json schema) to PATH",
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    check = sub.add_parser(
+        "check", help="run the AST invariant linter (REP rules) over the tracked sources"
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files to check (default: all tracked Python files under src/)",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument(
+        "--rule",
+        dest="rules",
+        action="append",
+        metavar="REPnnn",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    check.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    check.add_argument(
+        "--root", default=".", help="repository root for file discovery and relative paths"
+    )
+    check.add_argument(
+        "--verbose", action="store_true", help="also list suppressed findings with reasons"
+    )
+    check.add_argument(
+        "--typing",
+        action="store_true",
+        help="additionally run the strict mypy gate (skipped when mypy is not installed)",
+    )
+    check.set_defaults(fn=_cmd_check)
     return parser
 
 

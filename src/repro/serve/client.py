@@ -102,7 +102,7 @@ class RemoteJob:
     uniformly).
     """
 
-    def __init__(self, client: "RemoteEvaluationClient", summary: Mapping[str, Any]):
+    def __init__(self, client: "RemoteEvaluationClient", summary: Mapping[str, Any]) -> None:
         self._client = client
         self._summary = dict(summary)
         self.id: str = self._summary["id"]
@@ -217,7 +217,7 @@ class RemoteEvaluationClient:
         jitter: float = 0.5,
         poll_interval: float = 0.05,
         max_poll_interval: float = 1.0,
-    ):
+    ) -> None:
         self.endpoint = endpoint.rstrip("/")
         self.timeout = timeout
         self.retries = max(1, retries)
@@ -316,6 +316,7 @@ class RemoteEvaluationClient:
     def _http_error(method: str, path: str, exc: urllib.error.HTTPError) -> Exception:
         try:
             message = json.loads(exc.read().decode("utf-8")).get("error", "")
+        # repro: allow[REP009] error body is best-effort; the HTTP code below is the signal
         except Exception:  # noqa: BLE001 - error body is best-effort
             message = ""
         message = message or f"HTTP {exc.code}"

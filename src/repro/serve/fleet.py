@@ -71,7 +71,7 @@ class WorkerInfo:
     name: str
     concurrency: int = 1
     lease_seconds: float = 30.0
-    registered_at: float = field(default_factory=time.time)
+    registered_at: float = field(default_factory=time.time)  # repro: allow[REP002] display-only
     last_heartbeat: float = field(default_factory=time.monotonic)
     retired: bool = False
     tasks_completed: int = 0
@@ -145,7 +145,7 @@ class WorkerFleet:
         max_attempts: int = 5,
         prepare: Callable[[list[Any], list[SimulationRequest]], tuple] | None = None,
         deliver: Callable[..., None] | None = None,
-    ):
+    ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be > 0")
         if max_attempts < 1:
@@ -155,9 +155,9 @@ class WorkerFleet:
         self._prepare = prepare
         self._deliver = deliver
         self._lock = threading.Condition()
-        self._workers: dict[str, WorkerInfo] = {}
-        self._tasks: dict[str, FleetTask] = {}
-        self._pending: deque[str] = deque()
+        self._workers: dict[str, WorkerInfo] = {}  #: guarded by _lock
+        self._tasks: dict[str, FleetTask] = {}  #: guarded by _lock
+        self._pending: deque[str] = deque()  #: guarded by _lock
         self._worker_ids = itertools.count(1)
         self._task_ids = itertools.count(1)
         self._closed = False
@@ -227,10 +227,12 @@ class WorkerFleet:
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker fleet is closed")
+            requeued_before = self.tasks_requeued
             for previous in self._workers.values():
                 if previous.name == name and not previous.retired:
                     previous.retired = True
                     failures.extend(self._release_owned_locked(previous.id))
+            requeued = self.tasks_requeued - requeued_before
             worker = WorkerInfo(
                 id=f"worker-{next(self._worker_ids):04d}",
                 name=name,
@@ -239,7 +241,14 @@ class WorkerFleet:
             )
             self._workers[worker.id] = worker
             self._lock.notify_all()
+        # Registry metrics only outside the fleet lock: the alive-workers
+        # gauge callback runs *under* the registry lock and takes the fleet
+        # lock, so a metric op under the fleet lock would close a
+        # registry-lock/fleet-lock ordering cycle (a real deadlock under
+        # concurrent /metrics scrapes — see lockwatch).
         self._registered_metric.inc()
+        if requeued:
+            self._requeued_metric.inc(requeued)
         self._fail_tasks(failures)
         return worker
 
@@ -268,8 +277,9 @@ class WorkerFleet:
         task.state = TaskState.PENDING
         task.enqueued_at = time.monotonic()
         self._pending.append(task.id)
+        # Plain counter only; the caller mirrors the delta into the registry
+        # metric after releasing the lock (lock-ordering discipline above).
         self.tasks_requeued += 1
-        self._requeued_metric.inc()
         self._lock.notify_all()
         return []
 
@@ -322,11 +332,16 @@ class WorkerFleet:
                 worker.last_heartbeat = now  # claiming proves liveness
                 granted = self._claim_locked(worker, max_tasks, now)
                 if granted or self._closed:
-                    return [task.wire_payload() for task in granted]
+                    claim_waits = [now - task.enqueued_at for task in granted]
+                    payloads = [task.wire_payload() for task in granted]
+                    break
                 remaining = deadline - now
                 if remaining <= 0:
                     return []
                 self._lock.wait(min(remaining, 0.5))
+        for wait in claim_waits:  # registry metrics outside the fleet lock
+            self._claim_latency_metric.observe(wait)
+        return payloads
 
     def _claim_locked(
         self, worker: WorkerInfo, max_tasks: int, now: float
@@ -361,7 +376,6 @@ class WorkerFleet:
             task.state = TaskState.LEASED
             task.owner = worker.id
             task.lease_deadline = now + worker.lease_seconds
-            self._claim_latency_metric.observe(now - task.enqueued_at)
             for sink in task.live_sinks:
                 if sink is not None:
                     sink.trace_mark("leased", worker=worker.id, task=task.id)
@@ -410,20 +424,22 @@ class WorkerFleet:
                 or task.owner != worker_id
             ):
                 self.completions_rejected += 1
-                self._completed_metric.inc(outcome="rejected")
-                return False
-            if error is None and (
-                reports is None or len(reports) != len(task.live_requests)
-            ):
-                raise ValueError(
-                    f"task {task_id} completion carries {0 if reports is None else len(reports)} "
-                    f"reports for {len(task.live_requests)} requests"
-                )
-            task.state = TaskState.DONE
-            del self._tasks[task.id]
-            worker = self._workers.get(worker_id)
-            if worker is not None:
-                worker.tasks_completed += 1
+                task = None  # the rejected-metric inc happens outside the lock
+            else:
+                if error is None and (reports is None or len(reports) != len(task.live_requests)):
+                    raise ValueError(
+                        f"task {task_id} completion carries "
+                        f"{0 if reports is None else len(reports)} "
+                        f"reports for {len(task.live_requests)} requests"
+                    )
+                task.state = TaskState.DONE
+                del self._tasks[task.id]
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker.tasks_completed += 1
+        if task is None:
+            self._completed_metric.inc(outcome="rejected")
+            return False
         if error is not None:
             self._completed_metric.inc(outcome="error")
             if self._deliver is not None:
@@ -444,33 +460,42 @@ class WorkerFleet:
     def _monitor_loop(self) -> None:
         tick = min(max(self.lease_seconds / 4.0, 0.02), 1.0)
         while True:
-            with self._lock:
-                if self._closed:
-                    return
-                failures = self._expire_locked(time.monotonic())
-            self._fail_tasks(failures)
+            self._expire_and_publish()
             with self._lock:
                 if self._closed:
                     return
                 self._lock.wait(tick)
+
+    def _expire_and_publish(self) -> int:
+        """One expiry sweep; metric deltas publish after the lock is released
+        (the lock-ordering discipline documented in register())."""
+        with self._lock:
+            if self._closed:
+                return 0
+            expired_before = self.leases_expired
+            requeued_before = self.tasks_requeued
+            failures = self._expire_locked(time.monotonic())
+            expired = self.leases_expired - expired_before
+            requeued = self.tasks_requeued - requeued_before
+        if expired:
+            self._expired_metric.inc(expired)
+        if requeued:
+            self._requeued_metric.inc(requeued)
+        self._fail_tasks(failures)
+        return expired
 
     def _expire_locked(self, now: float) -> list[FleetTask]:
         failures: list[FleetTask] = []
         for task in list(self._tasks.values()):
             if task.state is TaskState.LEASED and now >= task.lease_deadline:
                 self.leases_expired += 1
-                self._expired_metric.inc()
                 failures.extend(self._requeue_locked(task))
         return failures
 
     def expire_now(self) -> int:
         """Force one expiry sweep (tests and diagnostics); returns how many
         leases expired."""
-        before = self.leases_expired
-        with self._lock:
-            failures = self._expire_locked(time.monotonic())
-        self._fail_tasks(failures)
-        return self.leases_expired - before
+        return self._expire_and_publish()
 
     # -- inspection / lifecycle -------------------------------------------------
 

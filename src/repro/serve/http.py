@@ -94,7 +94,7 @@ _HTTP_REQUESTS = telemetry.get_registry().counter(
 class _HTTPError(Exception):
     """Internal: maps a handler failure to an HTTP status + JSON error body."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
 
@@ -110,7 +110,7 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
         service: EvaluationService,
         store: ArtifactStore | None = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
-    ):
+    ) -> None:
         if max_request_bytes <= 0:
             raise ValueError("max_request_bytes must be positive")
         super().__init__(address, _EvaluationRequestHandler)
@@ -273,6 +273,7 @@ class _EvaluationRequestHandler(BaseHTTPRequestHandler):
             self._send_json(exc.status, {"error": str(exc)})
         except KeyError as exc:
             self._send_json(404, {"error": str(exc.args[0]) if exc.args else "not found"})
+        # repro: allow[REP009] error is returned to the client as the HTTP 500 body
         except Exception as exc:  # noqa: BLE001 - one bad request must not kill the server
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 

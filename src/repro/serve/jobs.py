@@ -26,7 +26,7 @@ from typing import Any, Callable
 # The lifecycle vocabulary is shared with every other execution backend
 # through the unified execution API; re-exported here for compatibility.
 from ..core.execution import JobFailedError, JobStatus
-from ..core.telemetry import Trace
+from ..core.telemetry import Trace, event_log
 
 __all__ = ["Job", "JobFailedError", "JobKind", "JobStatus"]
 
@@ -61,7 +61,7 @@ class Job:
     #: Wall-clock timestamps, for display only.  ``time.time()`` can jump
     #: (NTP slews, DST, manual adjustment), so all duration math uses the
     #: monotonic counterparts below.
-    submitted_at: float = field(default_factory=time.time)
+    submitted_at: float = field(default_factory=time.time)  # repro: allow[REP002] display-only
     started_at: float | None = None
     finished_at: float | None = None
     #: Monotonic counterparts: the source of truth for queue-wait and
@@ -75,7 +75,7 @@ class Job:
     trace: Trace = None  # type: ignore[assignment]  # filled by __post_init__
     _completed: threading.Event = field(default_factory=threading.Event, repr=False)
     _transitions: threading.Lock = field(default_factory=threading.Lock, repr=False)
-    _callbacks: list = field(default_factory=list, repr=False)
+    _callbacks: list = field(default_factory=list, repr=False)  #: guarded by _transitions
 
     def __post_init__(self) -> None:
         if self.trace is None:
@@ -151,7 +151,7 @@ class Job:
     def _finish_locked(self) -> list:
         """Seal a terminal transition (lock held): stamp the finish time,
         signal waiters, and hand back the callbacks to fire outside the lock."""
-        self.finished_at = time.time()
+        self.finished_at = time.time()  # repro: allow[REP002] display-only stamp
         self.finished_at_monotonic = time.monotonic()
         self._completed.set()
         callbacks, self._callbacks = self._callbacks, []
@@ -164,8 +164,8 @@ class Job:
     def _run_callback(self, fn: Callable[["Job"], None]) -> None:
         try:
             fn(self)
-        except Exception:  # noqa: BLE001 - observers must not break completion
-            pass
+        except Exception as exc:  # noqa: BLE001 - observers must not break completion
+            event_log().emit("job.callback_error", level="warning", job=self.id, error=repr(exc))
 
     # -- state transitions (service-internal) ----------------------------------
 
@@ -180,7 +180,7 @@ class Job:
             if self.status is not JobStatus.QUEUED:
                 return False
             self.status = JobStatus.RUNNING
-            self.started_at = time.time()
+            self.started_at = time.time()  # repro: allow[REP002] display-only stamp
             self.started_at_monotonic = time.monotonic()
         self.trace.mark("dispatched")
         return True

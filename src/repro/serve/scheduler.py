@@ -64,7 +64,7 @@ class BatchStats:
     lock, so concurrent worker threads can never produce a torn snapshot.
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None):
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._registry = registry if registry is not None else get_registry()
         self._kernel_calls = self._registry.counter(
             "repro_scheduler_kernel_calls_total",

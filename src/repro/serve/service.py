@@ -73,7 +73,7 @@ class _JobSink:
 
     __slots__ = ("job",)
 
-    def __init__(self, job: Job):
+    def __init__(self, job: Job) -> None:
         self.job = job
 
     def claim(self) -> bool:
@@ -101,7 +101,7 @@ class _SweepAggregate:
     in-flight batch it attached to as a follower.
     """
 
-    def __init__(self, job: Job, spec: SweepJobSpec, num_requests: int):
+    def __init__(self, job: Job, spec: SweepJobSpec, num_requests: int) -> None:
         self.job = job
         self.spec = spec
         self._reports: list[Any] = [None] * num_requests
@@ -134,7 +134,7 @@ class _SweepSink:
 
     __slots__ = ("aggregate", "index")
 
-    def __init__(self, aggregate: _SweepAggregate, index: int):
+    def __init__(self, aggregate: _SweepAggregate, index: int) -> None:
         self.aggregate = aggregate
         self.index = index
 
@@ -196,7 +196,7 @@ class EvaluationService:
         history_limit: int = 1024,
         worker_fleet: bool = False,
         lease_seconds: float = 30.0,
-    ):
+    ) -> None:
         if history_limit < 0:
             raise ValueError("history_limit must be >= 0")
         self.history_limit = history_limit
@@ -207,12 +207,12 @@ class EvaluationService:
         )
         self._process_workers = process_workers
         self._process_pool: ProcessPoolExecutor | None = None
-        self._jobs: dict[str, Job] = {}
+        self._jobs: dict[str, Job] = {}  #: guarded by _condition
         self._queue: list[tuple[Job, Any]] = []
         self._condition = threading.Condition()
         self._closed = False
         self._ids = itertools.count(1)
-        self._submitted: Counter[str] = Counter()
+        self._submitted: Counter[str] = Counter()  #: guarded by _condition
         # Single-flight registry: cache key of every simulation batch currently
         # in flight -> follower sinks attached to it (completed with the batch).
         self._inflight: dict[CacheKey, list[Any]] = {}

@@ -307,7 +307,7 @@ class SweepJobResult:
         params: list[dict[str, Any]],
         reports: "list[SimulationReport | ColumnarReportBatch]",
         baseline: "SimulationReport | ColumnarReportBatch | None" = None,
-    ):
+    ) -> None:
         self.name = name
         self.params = list(params)
         self._case_results = list(reports)

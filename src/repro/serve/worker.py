@@ -89,7 +89,7 @@ class WorkerRuntime:
         cache: ReportCache | None = None,
         client: RemoteEvaluationClient | None = None,
         verbose: bool = False,
-    ):
+    ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.name = name or default_worker_name()
@@ -143,6 +143,10 @@ class WorkerRuntime:
                 self.register()
             except (RemoteServiceError, KeyError, OSError) as exc:
                 self._log(f"re-registration failed, will retry: {exc}")
+                # Backing off *inside* the lock is the point: concurrent 404s
+                # coalesce behind one retry instead of hammering the server,
+                # and stop() interrupts the wait via the event.
+                # repro: allow[REP008] intentional backoff; serializes re-registration attempts
                 self._stop.wait(min(self.heartbeat_seconds, 1.0))
 
     # -- lifecycle --------------------------------------------------------------
@@ -348,7 +352,7 @@ class WorkerPoolExecutor(ServiceExecutor):
         lease_seconds: float = 30.0,
         concurrency: int = 1,
         poll_seconds: float = 1.0,
-    ):
+    ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         from .http import start_http_server

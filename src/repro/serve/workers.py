@@ -19,9 +19,12 @@ name to these functions; no code crosses the wire.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from .specs import register_wire_function
+
+if TYPE_CHECKING:
+    from ..core.pipeline import SQDMPipeline
 
 
 def _build_pipeline(
@@ -29,7 +32,7 @@ def _build_pipeline(
     resolution: int | None = None,
     pipeline_overrides: dict[str, Any] | None = None,
     artifact_dir: str | None = None,
-):
+) -> "SQDMPipeline":
     from ..core.pipeline import PipelineConfig, SQDMPipeline
     from ..workloads.models import load_workload
 

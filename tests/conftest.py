@@ -1,15 +1,26 @@
-"""Shared fixtures: tiny models, datasets and traces sized for fast unit tests."""
+"""Shared fixtures: tiny models, datasets and traces sized for fast unit tests.
+
+With ``REPRO_LOCKWATCH=1`` the runtime lock-order detector is installed
+*before* any repro module is imported (so every lock the code under test
+creates is tracked) and the session fails if a lock-ordering cycle or a
+blocking-call-under-lock was recorded anywhere in the run.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.accelerator.workload import random_workload
-from repro.diffusion.datasets import load_dataset
-from repro.diffusion.edm import EDMDenoiser
-from repro.nn.unet import EDMUNet, UNetConfig
-from repro.workloads.models import load_workload
+# Must run before the repro imports below create any locks.
+from repro.devtools import lockwatch as _lockwatch
+
+_WATCH = _lockwatch.install_from_env()
+
+from repro.accelerator.workload import random_workload  # noqa: E402
+from repro.diffusion.datasets import load_dataset  # noqa: E402
+from repro.diffusion.edm import EDMDenoiser  # noqa: E402
+from repro.nn.unet import EDMUNet, UNetConfig  # noqa: E402
+from repro.workloads.models import load_workload  # noqa: E402
 
 
 @pytest.fixture()
@@ -69,3 +80,11 @@ def synthetic_trace():
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockwatch_gate():
+    """Fail the session on lock-discipline violations when lockwatch is on."""
+    yield
+    if _WATCH is not None:
+        _WATCH.check()
